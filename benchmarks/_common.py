@@ -1,0 +1,44 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper figure via
+:mod:`repro.harness.figures`, times the full experiment with
+pytest-benchmark (one round — these are simulations, deterministic by
+construction), prints the paper-style table, and writes it to
+``benchmarks/out/`` so EXPERIMENTS.md can be assembled from a run.
+
+Scale is controlled by ``REPRO_SCALE``: ``small`` (default, finishes in
+seconds-to-minutes) or ``paper`` (the paper's process counts, minutes+).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def scale() -> str:
+    s = os.environ.get("REPRO_SCALE", "small")
+    if s not in ("small", "paper"):
+        raise ValueError(f"REPRO_SCALE must be 'small' or 'paper', got {s!r}")
+    return s
+
+
+def procs_for(small: tuple[int, ...], paper: tuple[int, ...]) -> tuple[int, ...]:
+    return paper if scale() == "paper" else small
+
+
+def record(result) -> None:
+    """Print the figure table and persist it for EXPERIMENTS.md."""
+    text = result.to_table()
+    print("\n" + text)
+    OUT_DIR.mkdir(exist_ok=True)
+    slug = result.figure.lower().replace(" ", "")
+    (OUT_DIR / f"{slug}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

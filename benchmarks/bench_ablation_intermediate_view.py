@@ -1,0 +1,73 @@
+"""Ablation B: intermediate-view design choices on the BT-IO pattern.
+
+Three variants of ParColl on pattern (c):
+
+* ``physical`` data path (the paper's design): grouping from logical
+  offsets, exchange over the original physical segments;
+* ``logical`` data path: exchange in logical space, sender-side
+  translation — every aggregator write is physically scattered;
+* intermediate views disabled: overlapping groups merge, degenerating
+  toward the unpartitioned protocol.
+"""
+
+from functools import partial
+
+from _common import record, run_once
+
+from repro.harness.figures import FigureResult, PAPER_LUSTRE
+from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.harness.report import mb_per_s
+from repro.parcoll import plan_partition
+from repro.workloads import BTIOConfig, btio_program
+from repro.workloads.btio import bt_filetype
+
+
+def compare_paths(nprocs: int = 64, ngroups: int = 4) -> FigureResult:
+    rows = []
+    series = {}
+    variants = [
+        ("physical", {"parcoll_data_path": "physical"}),
+        ("logical", {"parcoll_data_path": "logical"}),
+        ("disabled", {"parcoll_intermediate_views": False}),
+    ]
+    for name, extra in variants:
+        cfg = ExperimentConfig(nprocs=nprocs, lustre=dict(PAPER_LUSTRE))
+        hints = {"protocol": "parcoll", "parcoll_ngroups": ngroups, **extra}
+        wl = BTIOConfig(grid_points=144, nsteps=6, compute_seconds=0.05,
+                        compute_jitter=0.03, hints=hints)
+        res = run_experiment(cfg, partial(btio_program, wl))
+        bw = mb_per_s(res.io_phase_bandwidth)
+        series[name] = bw
+        rows.append([name, round(bw, 0),
+                     round(res.breakdown["io"]["max"], 3),
+                     round(res.breakdown["sync"]["max"], 3)])
+    # structural fact: disabling views collapses the grouping
+    cfgbt = BTIOConfig(grid_points=144)
+    extents = []
+    for rank in range(nprocs):
+        o, l = bt_filetype(cfgbt, nprocs, rank).segments()
+        extents.append((int(o[0]), int(o[-1] + l[-1]), int(l.sum())))
+    merged = plan_partition(extents, ngroups, allow_intermediate=False)
+    rows.append(["(groups without views)", merged.ngroups, "-", "-"])
+    series["merged_groups"] = merged.ngroups
+    return FigureResult(
+        figure="Ablation B",
+        title=f"Intermediate-view variants on BT-IO ({nprocs} procs, "
+              f"{ngroups} groups)",
+        headers=["variant", "MB/s", "io max (s)", "sync max (s)"],
+        rows=rows,
+        series=series,
+        notes="physical data path keeps writes dense; logical scatters "
+              "them; without views the BT pattern cannot be partitioned",
+    )
+
+
+def test_ablation_intermediate_view(benchmark):
+    result = run_once(benchmark, compare_paths)
+    record(result)
+    s = result.series
+    # the physical data path must beat the logical (scattered) one
+    assert s["physical"] > s["logical"]
+    # without intermediate views, the fully interleaved pattern collapses
+    # to a single group (no partitioning possible)
+    assert s["merged_groups"] == 1

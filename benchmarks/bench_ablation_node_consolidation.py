@@ -1,0 +1,57 @@
+"""Ablation D: node-level request consolidation (paper Section 6 future work).
+
+The paper proposes consolidating I/O requests from the cores of one node
+to better use injection bandwidth in the multi-core era.  This ablation
+quantifies the implemented extension on a many-cores-per-node machine:
+cross-node message count must drop by ~the cores-per-node factor; the
+bandwidth effect at the simulated scale is reported.
+"""
+
+from functools import partial
+
+from _common import record, run_once
+
+from repro.harness.figures import FigureResult, PAPER_LUSTRE
+from repro.harness.report import mb_per_s
+from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.workloads import TileIOConfig, tile_io_program
+
+
+def compare_consolidation(nprocs: int = 64, cores: int = 4) -> FigureResult:
+    rows = []
+    series = {}
+    for name, flag in (("off", False), ("on", True)):
+        cfg = ExperimentConfig(nprocs=nprocs, cores_per_node=cores,
+                               lustre=dict(PAPER_LUSTRE))
+        wl = TileIOConfig(tile_rows=1024, tile_cols=768, element_size=64,
+                          hints={"protocol": "parcoll",
+                                 "parcoll_ngroups": 8,
+                                 "cb_node_consolidation": flag})
+        res = run_experiment(cfg, partial(tile_io_program, wl))
+        # re-derive cross-node traffic from the run's network model
+        series[name] = {
+            "bw": mb_per_s(res.write_bandwidth),
+            "messages": res.messages,
+        }
+        rows.append([name, round(series[name]["bw"], 0), res.messages,
+                     round(res.breakdown["exchange"]["max"], 4)])
+    return FigureResult(
+        figure="Ablation D",
+        title=f"Node-level consolidation (tile-IO, {nprocs} procs, "
+              f"{cores} cores/node, ParColl-8)",
+        headers=["consolidation", "write MB/s", "messages",
+                 "exchange max (s)"],
+        rows=rows,
+        series=series,
+        notes="Section-6 future work implemented: leaders merge their "
+              "node's pieces before the inter-node exchange",
+    )
+
+
+def test_ablation_node_consolidation(benchmark):
+    result = run_once(benchmark, compare_consolidation)
+    record(result)
+    on, off = result.series["on"], result.series["off"]
+    # consolidation reduces message traffic without tanking bandwidth
+    assert on["messages"] < off["messages"]
+    assert on["bw"] > 0.5 * off["bw"]

@@ -1,0 +1,59 @@
+"""Extension E: the collective wall across file-system characters.
+
+The paper's Section 6 proposes studying the wall "over other massively
+parallel platforms with different underlying file systems, such as GPFS
+and PVFS".  This benchmark runs the tile-IO wall experiment over three
+file-system presets (Lustre-XT with DLM extent locks, a lock-free
+PVFS-like store, a token-based GPFS-like store) and reports how the
+baseline's wall and ParColl's benefit change.
+
+The claim under test is mechanism-level: ParColl's benefit comes from
+shrinking synchronization, so it must persist across file systems even as
+their absolute bandwidths differ.
+"""
+
+from dataclasses import asdict
+from functools import partial
+
+from _common import record, run_once
+
+from repro.harness.figures import FigureResult
+from repro.harness.report import mb_per_s
+from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.lustre.presets import PRESET_NAMES, preset
+from repro.workloads import TileIOConfig, tile_io_program
+
+
+def compare_filesystems(nprocs: int = 64, ngroups: int = 8) -> FigureResult:
+    rows = []
+    series = {}
+    for name in PRESET_NAMES:
+        params = preset(name, store_data=False)
+        for proto, g in (("ext2ph", 1), ("parcoll", ngroups)):
+            cfg = ExperimentConfig(nprocs=nprocs, lustre=asdict(params))
+            wl = TileIOConfig(tile_rows=1024, tile_cols=768, element_size=64,
+                              hints={"protocol": proto,
+                                     "parcoll_ngroups": g})
+            res = run_experiment(cfg, partial(tile_io_program, wl))
+            bw = mb_per_s(res.write_bandwidth)
+            series[(name, proto)] = bw
+            rows.append([name, f"{proto}-{g}", round(bw, 0),
+                         round(100 * res.category_share("sync"), 1)])
+    return FigureResult(
+        figure="Extension E",
+        title=f"Collective wall across file systems (tile-IO, {nprocs} procs)",
+        headers=["file system", "variant", "write MB/s", "sync %"],
+        rows=rows,
+        series=series,
+        notes="paper Section 6 future work: the wall (and ParColl's cure) "
+              "is a protocol property, not a Lustre artifact",
+    )
+
+
+def test_cross_filesystem(benchmark):
+    result = run_once(benchmark, compare_filesystems)
+    record(result)
+    s = result.series
+    for name in PRESET_NAMES:
+        # ParColl wins on every file-system character
+        assert s[(name, "parcoll")] > s[(name, "ext2ph")], name

@@ -1,0 +1,21 @@
+"""Figure 1: the collective wall — sync share of MPI-Tile-IO time vs scale.
+
+Claim under test: the share of time spent in synchronization grows with
+the process count and comes to dominate (the paper measures 72% at 512
+processes).
+"""
+
+from _common import procs_for, record, run_once, scale
+
+from repro.harness.figures import fig01_collective_wall
+
+
+def test_fig01_collective_wall(benchmark):
+    procs = procs_for(small=(16, 32, 64, 128, 256), paper=(32, 64, 128, 256, 512))
+    result = run_once(benchmark, fig01_collective_wall, procs=procs,
+                      scale=scale())
+    record(result)
+    shares = result.series["sync_share"]
+    # the wall: sync share grows monotonically-ish and dominates at scale
+    assert shares[procs[-1]] > shares[procs[0]]
+    assert shares[procs[-1]] > 0.5

@@ -1,0 +1,25 @@
+"""Figure 2: collective-I/O time breakdown (sync vs p2p vs file I/O).
+
+Claim under test: synchronization time grows much faster with the process
+count than point-to-point exchange and file I/O, overtaking both.
+"""
+
+from _common import procs_for, record, run_once, scale
+
+from repro.harness.figures import fig02_breakdown
+
+
+def test_fig02_breakdown(benchmark):
+    procs = procs_for(small=(16, 32, 64, 128), paper=(32, 64, 128, 256, 512))
+    result = run_once(benchmark, fig02_breakdown, procs=procs, scale=scale())
+    record(result)
+    sync = result.series["sync"]
+    exchange = result.series["exchange"]
+    io = result.series["io"]
+    p_lo, p_hi = procs[0], procs[-1]
+    # sync grows faster than the other two components
+    sync_growth = sync[p_hi] / max(sync[p_lo], 1e-12)
+    assert sync_growth > exchange[p_hi] / max(exchange[p_lo], 1e-12)
+    # and dominates at the largest scale
+    assert sync[p_hi] > io[p_hi]
+    assert sync[p_hi] > exchange[p_hi]

@@ -1,0 +1,21 @@
+"""Figure 5: the aggregator-distribution worked example (block & cyclic).
+
+Claim under test: the distribution algorithm reproduces the paper's table
+exactly — block mapping with four aggregators gives SubGroup1 {N0(P0),
+N1(P2)} / SubGroup2 {N2(P4), N3(P6)}; cyclic with three gives
+SubGroup1 {N0(P0), N3(P3)} / SubGroup2 {N2(P6)}.
+"""
+
+from _common import record, run_once
+
+from repro.harness.figures import fig05_aggregator_distribution
+
+
+def test_fig05_aggregator_distribution(benchmark):
+    result = run_once(benchmark, fig05_aggregator_distribution)
+    record(result)
+    rows = {(r[0], r[1]): r[2] for r in result.rows}
+    assert rows[("block", "SubGroup 1")] == "N0(P0), N1(P2)"
+    assert rows[("block", "SubGroup 2")] == "N2(P4), N3(P6)"
+    assert rows[("cyclic", "SubGroup 1")] == "N0(P0), N3(P3)"
+    assert rows[("cyclic", "SubGroup 2")] == "N2(P6)"

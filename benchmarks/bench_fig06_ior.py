@@ -1,0 +1,24 @@
+"""Figure 6: IOR collective write — ParColl-N vs the baseline.
+
+Claim under test: for IOR's contiguous pattern, collective I/O's cost is
+pure synchronization, and ParColl recovers an order of magnitude of
+bandwidth (the paper: 12.8x over a 380 MB/s baseline at 512 processes,
+best at large N).
+"""
+
+from _common import procs_for, record, run_once, scale
+
+from repro.harness.figures import fig06_ior
+
+
+def test_fig06_ior(benchmark):
+    procs = procs_for(small=(32, 128), paper=(128, 512))
+    groups = (8, 16, 32, 64) if scale() == "paper" else (4, 8, 16, 32)
+    result = run_once(benchmark, fig06_ior, procs=procs,
+                      group_counts=groups, scale=scale())
+    record(result)
+    p = procs[-1]
+    baseline = result.series["Cray (ext2ph)"][p]
+    best = max(result.series[f"ParColl-{g}"][p] for g in groups if g <= p)
+    # ParColl must beat the baseline severalfold at the larger scale
+    assert best > 3 * baseline

@@ -1,0 +1,28 @@
+"""Figure 7: MPI-Tile-IO write/read bandwidth vs number of subgroups.
+
+Claims under test: ParColl-1/2 is comparable to the baseline; an interior
+optimum exists (the paper: 64 subgroups at 512 processes, +210% write /
++180% read); over-partitioning collapses performance.
+"""
+
+from _common import record, run_once, scale
+
+from repro.harness.figures import fig07_tileio_groups
+
+
+def test_fig07_tileio_groups(benchmark):
+    if scale() == "paper":
+        nprocs, groups = 512, (1, 2, 4, 8, 16, 32, 64, 128, 256)
+    else:
+        nprocs, groups = 64, (1, 2, 4, 8, 16, 32)
+    result = run_once(benchmark, fig07_tileio_groups, nprocs=nprocs,
+                      group_counts=groups, scale=scale())
+    record(result)
+    w = result.series["write"]
+    best_g = max(w, key=w.get)
+    # interior optimum: neither the unpartitioned nor the most-partitioned
+    assert best_g not in (groups[0], groups[-1])
+    # a substantial improvement over the baseline at the optimum
+    assert w[best_g] > 1.5 * w[1]
+    # over-partitioning gives performance back
+    assert w[groups[-1]] < w[best_g]

@@ -1,0 +1,24 @@
+"""Figure 8: reduction of synchronization cost with subgroup count.
+
+Claim under test: partitioning reduces the synchronization time both in
+absolute value and as a share of total time, until over-partitioning.
+"""
+
+from _common import record, run_once, scale
+
+from repro.harness.figures import fig08_sync_reduction
+
+
+def test_fig08_sync_reduction(benchmark):
+    if scale() == "paper":
+        nprocs, groups = 512, (1, 2, 4, 8, 16, 32, 64, 128)
+    else:
+        nprocs, groups = 64, (1, 2, 4, 8, 16, 32)
+    result = run_once(benchmark, fig08_sync_reduction, nprocs=nprocs,
+                      group_counts=groups, scale=scale())
+    record(result)
+    sync = result.series["sync_max"]
+    best_g = min(sync, key=sync.get)
+    assert best_g != 1
+    # at least a 2x absolute reduction at the best group count
+    assert sync[1] > 2 * sync[best_g]

@@ -1,0 +1,28 @@
+"""Figure 9: scalability of MPI-Tile-IO — best ParColl vs the baseline.
+
+Claim under test: the baseline's bandwidth saturates (the wall) while
+ParColl keeps scaling, so the advantage grows with the process count
+(the paper: 416% at 1024 processes, 11.4 vs 2.7 GB/s).
+"""
+
+from _common import procs_for, record, run_once, scale
+
+from repro.harness.figures import fig09_scalability
+
+
+def test_fig09_scalability(benchmark):
+    procs = procs_for(small=(32, 64, 128), paper=(128, 256, 512, 1024))
+    result = run_once(benchmark, fig09_scalability, procs=procs,
+                      scale=scale())
+    record(result)
+    base = result.series["baseline"]
+    pc = result.series["parcoll"]
+    p_lo, p_hi = procs[0], procs[-1]
+    # the wall pins the baseline (it barely moves across the sweep) ...
+    assert base[p_hi] < 1.5 * base[p_lo]
+    # ... while ParColl wins by multiples at the largest scale; the ratio
+    # grows with P until ParColl reaches machine capacity
+    assert pc[p_hi] > 1.5 * base[p_hi]
+    peak_ratio = max(pc[p] / base[p] for p in procs)
+    assert (pc[p_hi] / base[p_hi] > pc[p_lo] / base[p_lo]
+            or peak_ratio > 3.0)

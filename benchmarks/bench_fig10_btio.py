@@ -1,0 +1,24 @@
+"""Figure 10: BT-IO (full mode) — the pattern-(c) workload.
+
+Claims under test: BT-IO's diagonal multi-partitioning requires
+intermediate file views (asserted structurally in the test suite), and
+ParColl outperforms the baseline at scale with the advantage growing as
+the baseline hits the wall.
+"""
+
+from _common import procs_for, record, run_once, scale
+
+from repro.harness.figures import fig10_btio
+
+
+def test_fig10_btio(benchmark):
+    procs = procs_for(small=(16, 64, 144), paper=(64, 144, 256, 576))
+    result = run_once(benchmark, fig10_btio, procs=procs, scale=scale())
+    record(result)
+    base = result.series["baseline"]
+    pc = result.series["parcoll"]
+    p_hi = procs[-1]
+    assert pc[p_hi] > base[p_hi]
+    # the relative benefit grows with scale
+    ratios = [pc[p] / base[p] for p in procs]
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Diagnose an I/O scaling problem the way the paper's Section 2 does.
+
+Given a workload that scales badly, is it the *collective wall*
+(synchronization) or an I/O capacity limit?  This example:
+
+1. calibrates the platform's primitives (like lmbench/IOR micro-runs);
+2. sweeps the process count, collecting per-category time breakdowns;
+3. prints the Figure-2-style table and an automatic diagnosis;
+4. attaches a trace and shows how ParColl flattens the OST load bursts.
+
+Run:  python examples/diagnose_collective_wall.py
+"""
+
+from functools import partial
+
+from repro.analysis import (BreakdownSeries, burstiness, calibrate, ost_load,
+                            wall_diagnosis)
+from repro.cluster import MachineConfig
+from repro.harness import ExperimentConfig, format_table, run_experiment
+from repro.lustre import LustreFS, LustreParams
+from repro.mpiio import MPIIO
+from repro.sim import TraceRecorder
+from repro.simmpi import World
+from repro.workloads import TileIOConfig, tile_io_program
+from repro.workloads.base import deterministic_bytes
+
+LUSTRE = {"n_osts": 72, "default_stripe_count": 64}
+
+
+def step1_calibrate():
+    print("== platform calibration ==")
+    print(calibrate(proc_counts=(16, 64)).summary())
+
+
+def step2_sweep():
+    print("\n== process-count sweep (tile-IO, ext2ph baseline) ==")
+    series = BreakdownSeries()
+    rows = []
+    for p in (16, 32, 64, 128):
+        wl = TileIOConfig(tile_rows=1024, tile_cols=768, element_size=64,
+                          hints={"protocol": "ext2ph"})
+        res = run_experiment(ExperimentConfig(nprocs=p, lustre=LUSTRE),
+                             partial(tile_io_program, wl))
+        series.add(p, res)
+        bd = series.points[p]
+        rows.append([p, round(bd["sync"], 2), round(bd["exchange"], 3),
+                     round(bd["io"], 2),
+                     round(100 * series.shares[p], 1)])
+    print(format_table(["procs", "sync (s)", "p2p (s)", "io (s)", "sync %"],
+                       rows))
+    print("\ndiagnosis:", wall_diagnosis(series))
+
+
+def step3_trace(protocol, ngroups):
+    world = World(MachineConfig(nprocs=32, cores_per_node=2))
+    trace = TraceRecorder()
+    fs = LustreFS(world.engine,
+                  LustreParams(n_osts=16, default_stripe_count=16,
+                               default_stripe_size=1 << 16, jitter=0.2),
+                  trace=trace)
+    io = MPIIO(world, fs)
+    block = 1 << 20
+
+    def program(comm):
+        f = yield from io.open(comm, "trace", hints={
+            "protocol": protocol, "parcoll_ngroups": ngroups,
+            "cb_buffer_size": 1 << 16})
+        yield from f.write_at_all(comm.rank * block,
+                                  deterministic_bytes(comm.rank, block))
+        yield from f.close()
+
+    world.launch(program)
+    return trace, world.engine.now
+
+
+def main():
+    step1_calibrate()
+    step2_sweep()
+
+    print("\n== OST load: global rounds vs drifting subgroups ==")
+    rows = []
+    for name, proto, g in (("ext2ph (global rounds)", "ext2ph", 1),
+                           ("ParColl-8", "parcoll", 8)):
+        trace, t_end = step3_trace(proto, g)
+        load = ost_load(trace)
+        busy = sum(load.per_ost_busy.values())
+        util = busy / (16 * t_end)
+        rows.append([name, round(t_end, 3), round(100 * util, 1),
+                     round(load.imbalance, 2), load.requests])
+    print(format_table(["variant", "makespan (s)", "mean OST util %",
+                        "imbalance", "requests"], rows))
+    print("\nsame bytes, same OSTs: decoupled subgroups keep the disks "
+          "busier and finish sooner")
+
+
+# burstiness() is available for time-resolved views; see repro.analysis
+_ = burstiness
+
+
+if __name__ == "__main__":
+    main()

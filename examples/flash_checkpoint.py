@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Flash-style HDF5 checkpointing: why collective I/O matters.
+
+An astrophysics code checkpoints 12 double-precision variables through an
+HDF5-like container (one dataset per variable plus block metadata).  This
+example writes the checkpoint four ways — independent I/O, the two-phase
+baseline, and ParColl with default and reduced aggregator counts — and
+prints the Figure-11-style comparison, including the collapse of
+uncoordinated output.
+
+Run:  python examples/flash_checkpoint.py
+"""
+
+from functools import partial
+
+from repro.harness import ExperimentConfig, format_table, mb_per_s, run_experiment
+from repro.workloads import FlashIOConfig, flash_io_program
+
+NPROCS = 64
+LUSTRE = {"n_osts": 72, "default_stripe_count": 64}
+FLASH = dict(nxb=16, nyb=16, nzb=16, blocks_per_proc=16, nvars=12)
+
+
+def run_variant(name, hints):
+    wl = FlashIOConfig(hints=hints, **FLASH)
+    res = run_experiment(ExperimentConfig(nprocs=NPROCS, lustre=LUSTRE),
+                         partial(flash_io_program, wl))
+    ckpt = wl.checkpoint_bytes(NPROCS)
+    return [name, round(mb_per_s(res.write_bandwidth)),
+            round(res.breakdown["sync"]["max"], 2),
+            round(res.breakdown["io"]["max"], 2)], ckpt
+
+
+def main():
+    rows = []
+    variants = [
+        ("Cray w/o Coll (independent)", {"protocol": "independent"}),
+        ("ext2ph (baseline)", {"protocol": "ext2ph"}),
+        ("ParColl-16", {"protocol": "parcoll", "parcoll_ngroups": 16}),
+        ("ParColl-16, 4 aggregators",
+         {"protocol": "parcoll", "parcoll_ngroups": 16, "cb_nodes": 4}),
+    ]
+    ckpt = 0
+    for name, hints in variants:
+        row, ckpt = run_variant(name, hints)
+        rows.append(row)
+    print(format_table(
+        ["variant", "MB/s", "sync max (s)", "io max (s)"], rows,
+        title=f"Flash checkpoint: {NPROCS} procs, "
+              f"{ckpt / 1e6:.0f} MB across 12 variables"))
+    print("\nuncoordinated clients thrash extent locks on the metadata "
+          "and data regions;\naggregation through ParColl both shrinks "
+          "synchronization and stabilizes lock ownership")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro — ParColl: Partitioned Collective I/O on a simulated Cray XT.
+
+A from-scratch reproduction of Yu & Vetter, "ParColl: Partitioned
+Collective I/O on the Cray XT" (ICPP 2008): a deterministic simulation of
+the machine (nodes, SeaStar-like network, Lustre-like storage), an MPI
+with real matching semantics, MPI-IO with the extended two-phase
+collective protocol, and ParColl itself — plus the paper's workloads,
+benchmarks for every figure, and analysis tooling.
+
+Start with :mod:`repro.harness` (run experiments), :mod:`repro.mpiio`
+(drive the I/O API directly), or ``python -m repro.cli figure 7``.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

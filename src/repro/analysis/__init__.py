@@ -1,0 +1,32 @@
+"""Post-run analysis: breakdown aggregation, coverage checking, calibration.
+
+Tools a user pointed at a finished run (or a planned one) reaches for:
+
+* :mod:`repro.analysis.breakdown` — turn per-rank time breakdowns into
+  the paper's Figure-2-style series and wall diagnostics;
+* :mod:`repro.analysis.coverage` — verify that a set of per-rank access
+  patterns tile a file exactly (no gaps, no overlaps) before running it;
+* :mod:`repro.analysis.calibration` — measure the simulated platform's
+  effective primitives (point-to-point latency/bandwidth, collective
+  scaling, raw OST throughput) the way one would calibrate a real
+  machine with micro-benchmarks.
+"""
+
+from repro.analysis.breakdown import BreakdownSeries, wall_diagnosis
+from repro.analysis.coverage import CoverageReport, check_coverage
+from repro.analysis.calibration import PlatformCalibration, calibrate
+from repro.analysis.timeline import (OstLoadSummary, burstiness, ost_load,
+                                     utilization_curve)
+
+__all__ = [
+    "BreakdownSeries",
+    "wall_diagnosis",
+    "CoverageReport",
+    "check_coverage",
+    "PlatformCalibration",
+    "calibrate",
+    "OstLoadSummary",
+    "ost_load",
+    "utilization_curve",
+    "burstiness",
+]

@@ -1,0 +1,89 @@
+"""Breakdown aggregation and collective-wall diagnosis.
+
+``BreakdownSeries`` accumulates the per-category maxima of several runs
+(e.g. a process-count sweep) and answers the questions the paper's
+Figures 1–2 ask: how fast does each component grow, and at what scale
+does synchronization start to dominate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.harness.runner import RunResult
+
+
+@dataclass
+class BreakdownSeries:
+    """Per-category times across a parameter sweep (keyed by e.g. nprocs)."""
+
+    categories: tuple[str, ...] = ("sync", "exchange", "io")
+    points: dict[int, dict[str, float]] = field(default_factory=dict)
+    shares: dict[int, float] = field(default_factory=dict)
+
+    def add(self, key: int, result: RunResult) -> None:
+        self.points[key] = {
+            c: result.breakdown.get(c, {}).get("max", 0.0)
+            for c in self.categories
+        }
+        self.shares[key] = result.category_share("sync")
+
+    def growth(self, category: str) -> Optional[float]:
+        """Ratio of the category's time at the largest vs smallest key."""
+        if len(self.points) < 2:
+            return None
+        keys = sorted(self.points)
+        lo = self.points[keys[0]].get(category, 0.0)
+        hi = self.points[keys[-1]].get(category, 0.0)
+        return hi / lo if lo > 0 else math.inf
+
+    def scaling_exponent(self, category: str) -> Optional[float]:
+        """Least-squares slope of log(time) vs log(key) — ~1 means linear."""
+        pts = [(k, v.get(category, 0.0)) for k, v in sorted(self.points.items())
+               if v.get(category, 0.0) > 0 and k > 0]
+        if len(pts) < 2:
+            return None
+        xs = [math.log(k) for k, _ in pts]
+        ys = [math.log(t) for _, t in pts]
+        n = len(xs)
+        mx, my = sum(xs) / n, sum(ys) / n
+        denom = sum((x - mx) ** 2 for x in xs)
+        if denom == 0:
+            return None
+        return sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / denom
+
+    def wall_onset(self, threshold: float = 0.5) -> Optional[int]:
+        """Smallest key at which sync's share exceeds ``threshold``."""
+        for k in sorted(self.shares):
+            if self.shares[k] > threshold:
+                return k
+        return None
+
+
+def wall_diagnosis(series: BreakdownSeries) -> str:
+    """A one-paragraph human-readable verdict on the collective wall."""
+    onset = series.wall_onset()
+    sync_g = series.growth("sync")
+    io_g = series.growth("io")
+    lines = []
+    if onset is not None:
+        lines.append(f"synchronization dominates (>50%) from {onset} "
+                     f"processes on")
+    else:
+        lines.append("synchronization never dominates in this sweep")
+    if sync_g is not None and io_g is not None and io_g > 0:
+        lines.append(f"sync grew {sync_g:.1f}x across the sweep vs "
+                     f"{io_g:.1f}x for file I/O")
+        exp = series.scaling_exponent("sync")
+        if exp is not None:
+            lines.append(f"sync scales ~P^{exp:.2f}")
+        final_share = series.shares.get(max(series.shares), 0.0) \
+            if series.shares else 0.0
+        if final_share > 0.5 and sync_g >= io_g:
+            lines.append("verdict: collective wall — partition the group "
+                         "(ParColl) or shrink the synchronization scope")
+        else:
+            lines.append("verdict: no wall — I/O capacity bound")
+    return "; ".join(lines)

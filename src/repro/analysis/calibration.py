@@ -1,0 +1,118 @@
+"""Platform micro-benchmarks: calibrate the simulated machine like a real one.
+
+Runs the classic measurement kernels inside the simulation — ping-pong
+for latency/bandwidth, barrier/allreduce sweeps for collective scaling,
+a streaming write for raw OST throughput — and reports the *effective*
+constants.  Used to sanity-check configurations (does this platform
+resemble the paper's Jaguar numbers?) and in tests to pin the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.cluster import MachineConfig, NetworkParams
+from repro.lustre import LustreFS, LustreParams
+from repro.simmpi import Payload, World
+
+
+@dataclass(frozen=True)
+class PlatformCalibration:
+    """Effective platform primitives measured in-simulation (seconds, B/s)."""
+
+    p2p_latency: float
+    p2p_bandwidth: float
+    barrier_seconds: dict[int, float]
+    allreduce_8b_seconds: dict[int, float]
+    ost_stream_bandwidth: float
+
+    def summary(self) -> str:
+        b = ", ".join(f"P={p}: {t * 1e6:.1f}us"
+                      for p, t in sorted(self.barrier_seconds.items()))
+        return (f"p2p latency {self.p2p_latency * 1e6:.2f} us, "
+                f"bandwidth {self.p2p_bandwidth / 1e9:.2f} GB/s; "
+                f"barrier [{b}]; "
+                f"OST streaming {self.ost_stream_bandwidth / 1e6:.0f} MB/s")
+
+
+def _pingpong(net_params: NetworkParams, nbytes: int, reps: int = 10) -> float:
+    """Round-trip halves, averaged over reps; two ranks on distinct nodes."""
+    world = World(MachineConfig(nprocs=2, cores_per_node=1),
+                  net_params=net_params)
+    times: dict[str, float] = {}
+
+    def program(comm) -> Generator[Any, Any, None]:
+        peer = 1 - comm.rank
+        if comm.rank == 0:
+            t0 = comm.now
+            for _ in range(reps):
+                yield from comm.send(Payload.model(nbytes), dest=peer)
+                yield from comm.recv(source=peer)
+            times["oneway"] = (comm.now - t0) / (2 * reps)
+        else:
+            for _ in range(reps):
+                yield from comm.recv(source=peer)
+                yield from comm.send(Payload.model(nbytes), dest=peer)
+
+    world.launch(program)
+    return times["oneway"]
+
+
+def _collective_time(net_params: NetworkParams, nprocs: int,
+                     kind: str, reps: int = 5) -> float:
+    world = World(MachineConfig(nprocs=nprocs, cores_per_node=2),
+                  net_params=net_params)
+    out: dict[int, float] = {}
+
+    def program(comm) -> Generator[Any, Any, None]:
+        t0 = comm.now
+        for _ in range(reps):
+            if kind == "barrier":
+                yield from comm.barrier()
+            else:
+                yield from comm.allreduce(comm.rank, nbytes=8)
+        out[comm.rank] = (comm.now - t0) / reps
+
+    world.launch(program)
+    return max(out.values())
+
+
+def _ost_stream(lustre_params: LustreParams, nbytes: int = 64 << 20) -> float:
+    world = World(MachineConfig(nprocs=1, cores_per_node=1))
+    fs = LustreFS(world.engine, lustre_params)
+    out: dict[str, float] = {}
+
+    def program(comm) -> Generator[Any, Any, None]:
+        f = yield from fs.open("calib", stripe_count=1)
+        t0 = comm.now
+        yield from fs.write(f, client=0, offsets=[0], lengths=[nbytes])
+        out["secs"] = comm.now - t0
+
+    world.launch(program)
+    return nbytes / out["secs"]
+
+
+def calibrate(net_params: NetworkParams | None = None,
+              lustre_params: LustreParams | None = None,
+              proc_counts: tuple[int, ...] = (8, 64, 256)
+              ) -> PlatformCalibration:
+    """Measure the platform's effective primitives."""
+    net_params = net_params or NetworkParams()
+    lustre_params = lustre_params or LustreParams(store_data=False,
+                                                  jitter=0.0)
+    t_small = _pingpong(net_params, nbytes=0)
+    big = 1 << 20
+    t_big = _pingpong(net_params, nbytes=big)
+    bandwidth = big / max(t_big - t_small, 1e-12)
+    barriers = {p: _collective_time(net_params, p, "barrier")
+                for p in proc_counts}
+    allreduces = {p: _collective_time(net_params, p, "allreduce")
+                  for p in proc_counts}
+    return PlatformCalibration(
+        p2p_latency=t_small,
+        p2p_bandwidth=bandwidth,
+        barrier_seconds=barriers,
+        allreduce_8b_seconds=allreduces,
+        ost_stream_bandwidth=_ost_stream(lustre_params),
+    )

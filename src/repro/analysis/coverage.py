@@ -1,0 +1,123 @@
+"""Access-pattern coverage checking.
+
+Collective writes with overlapping per-rank regions have undefined
+semantics in MPI (and raise inside the aggregation engine here).  This
+module checks a set of per-rank patterns *before* a run: do they overlap,
+do they tile the intended byte range, how fragmented is each rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.datatypes.base import Datatype
+from repro.datatypes.flatten import Segments, coalesce
+
+
+@dataclass
+class CoverageReport:
+    """Result of :func:`check_coverage`."""
+
+    total_bytes: int
+    covered_bytes: int
+    overlap_bytes: int
+    gap_bytes: int
+    #: (rank_a, rank_b) pairs with overlapping access (first few)
+    overlapping_pairs: list[tuple[int, int]] = field(default_factory=list)
+    #: per-rank extent counts (fragmentation)
+    extents_per_rank: list[int] = field(default_factory=list)
+
+    @property
+    def exact_tiling(self) -> bool:
+        return self.overlap_bytes == 0 and self.gap_bytes == 0
+
+    @property
+    def disjoint(self) -> bool:
+        return self.overlap_bytes == 0
+
+    def summary(self) -> str:
+        state = ("exact tiling" if self.exact_tiling
+                 else "disjoint with gaps" if self.disjoint
+                 else "OVERLAPPING")
+        frag = (max(self.extents_per_rank) if self.extents_per_rank else 0)
+        return (f"{state}: {self.covered_bytes}/{self.total_bytes} bytes "
+                f"covered, {self.overlap_bytes} overlapping, "
+                f"{self.gap_bytes} gaps; worst fragmentation "
+                f"{frag} extents/rank")
+
+
+def _segments_of(pattern, disp: int = 0) -> Segments:
+    if isinstance(pattern, Datatype):
+        offs, lens = pattern.segments()
+        return offs + disp, lens
+    offs, lens = pattern
+    return (np.asarray(offs, dtype=np.int64) + disp,
+            np.asarray(lens, dtype=np.int64))
+
+
+def check_coverage(patterns: Sequence, disps: Optional[Sequence[int]] = None,
+                   expected_range: Optional[tuple[int, int]] = None
+                   ) -> CoverageReport:
+    """Check per-rank access patterns for overlap and tiling.
+
+    ``patterns``: one :class:`Datatype` or ``(offsets, lengths)`` pair per
+    rank; ``disps``: optional per-rank view displacements.  The expected
+    range defaults to the hull of all accesses.
+    """
+    disps = disps or [0] * len(patterns)
+    per_rank = [_segments_of(p, d) for p, d in zip(patterns, disps)]
+    extents = [int(o.size) for o, _ in per_rank]
+    nonempty = [(o, l) for o, l in per_rank if o.size]
+    if not nonempty:
+        return CoverageReport(0, 0, 0, 0, extents_per_rank=extents)
+    all_offs = np.concatenate([o for o, _ in nonempty])
+    all_lens = np.concatenate([l for _, l in nonempty])
+    union_o, union_l = coalesce(all_offs, all_lens)
+    covered = int(union_l.sum())
+    raw_total = int(all_lens.sum())
+    overlap = raw_total - covered
+    if expected_range is None:
+        expected_range = (int(union_o[0]), int(union_o[-1] + union_l[-1]))
+    lo, hi = expected_range
+    total = max(0, hi - lo)
+    gap = total - covered if total >= covered else 0
+
+    pairs: list[tuple[int, int]] = []
+    if overlap > 0:
+        # locate a few offending pairs for the report
+        for a in range(len(per_rank)):
+            if per_rank[a][0].size == 0:
+                continue
+            for b in range(a + 1, len(per_rank)):
+                if per_rank[b][0].size == 0:
+                    continue
+                if _overlaps(per_rank[a], per_rank[b]):
+                    pairs.append((a, b))
+                    if len(pairs) >= 8:
+                        break
+            if len(pairs) >= 8:
+                break
+    return CoverageReport(total_bytes=total, covered_bytes=covered,
+                          overlap_bytes=overlap, gap_bytes=gap,
+                          overlapping_pairs=pairs,
+                          extents_per_rank=extents)
+
+
+def _overlaps(a: Segments, b: Segments) -> bool:
+    """True when the two segment lists share any byte (vectorized merge)."""
+    ao, al = a
+    bo, bl = b
+    # for each segment of a, find the b segment at or before it
+    idx = np.searchsorted(bo, ao, side="right") - 1
+    prev_end = np.where(idx >= 0, bo[np.maximum(idx, 0)] + bl[np.maximum(idx, 0)],
+                        np.int64(-1))
+    if np.any(prev_end > ao):
+        return True
+    # and the b segment after it
+    nxt = np.searchsorted(bo, ao, side="right")
+    nxt_start = np.where(nxt < bo.size, bo[np.minimum(nxt, bo.size - 1)],
+                         np.iinfo(np.int64).max)
+    return bool(np.any(nxt_start < ao + al))

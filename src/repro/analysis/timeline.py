@@ -1,0 +1,90 @@
+"""Timeline analysis from trace records.
+
+With a :class:`~repro.sim.trace.TraceRecorder` attached to the file
+system (``LustreFS(..., trace=recorder)``), every OST service interval is
+recorded.  These tools turn that stream into the diagnostics that explain
+the collective wall: per-OST load imbalance, utilization over time, and
+burstiness (how synchronized the request waves are).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class OstLoadSummary:
+    """Aggregate view of OST service activity."""
+
+    per_ost_busy: dict[int, float]
+    per_ost_bytes: dict[int, int]
+    requests: int
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean busy time across OSTs (1.0 = perfectly balanced)."""
+        if not self.per_ost_busy:
+            return 0.0
+        vals = list(self.per_ost_busy.values())
+        mean = sum(vals) / len(vals)
+        return max(vals) / mean if mean > 0 else 0.0
+
+    @property
+    def hottest_ost(self) -> int | None:
+        if not self.per_ost_busy:
+            return None
+        return max(self.per_ost_busy, key=self.per_ost_busy.get)
+
+
+def ost_load(trace: TraceRecorder) -> OstLoadSummary:
+    """Summarize OST busy time and volume from 'ost' trace records."""
+    busy: dict[int, float] = {}
+    volume: dict[int, int] = {}
+    n = 0
+    for _, payload in trace.by_category("ost"):
+        ost = payload["ost"]
+        busy[ost] = busy.get(ost, 0.0) + (payload["end"] - payload["start"])
+        volume[ost] = volume.get(ost, 0) + payload["nbytes"]
+        n += 1
+    return OstLoadSummary(per_ost_busy=busy, per_ost_bytes=volume,
+                          requests=n)
+
+
+def utilization_curve(trace: TraceRecorder, t_end: float, nbins: int = 50
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Fraction of OSTs busy in each time bin; returns (bin_edges, frac).
+
+    A spiky curve (all OSTs slam together, then idle) is the signature of
+    globally synchronized rounds; ParColl's drifting subgroups flatten it.
+    """
+    if t_end <= 0 or nbins <= 0:
+        raise ValueError("t_end and nbins must be positive")
+    records = trace.by_category("ost")
+    osts = {p["ost"] for _, p in records}
+    edges = np.linspace(0.0, t_end, nbins + 1)
+    busy_time = np.zeros(nbins)
+    for _, p in records:
+        lo = np.searchsorted(edges, p["start"], side="right") - 1
+        hi = np.searchsorted(edges, min(p["end"], t_end), side="left")
+        for b in range(max(lo, 0), min(hi, nbins)):
+            overlap = (min(p["end"], edges[b + 1])
+                       - max(p["start"], edges[b]))
+            if overlap > 0:
+                busy_time[b] += overlap
+        # (loop over bins is fine: requests per run are thousands, not millions)
+    width = edges[1] - edges[0]
+    denom = max(1, len(osts)) * width
+    return edges, np.minimum(1.0, busy_time / denom)
+
+
+def burstiness(trace: TraceRecorder, t_end: float, nbins: int = 50) -> float:
+    """Coefficient of variation of the utilization curve (0 = steady)."""
+    _, curve = utilization_curve(trace, t_end, nbins)
+    mean = float(curve.mean())
+    if mean <= 0:
+        return 0.0
+    return float(curve.std() / mean)

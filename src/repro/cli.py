@@ -1,0 +1,100 @@
+"""Command-line interface: regenerate figures and inspect the platform.
+
+Usage::
+
+    python -m repro.cli figure 7 [--scale paper]
+    python -m repro.cli figures            # all of them
+    python -m repro.cli calibrate          # platform micro-benchmarks
+    python -m repro.cli list               # what is available
+
+The same figure definitions back the pytest benchmarks; the CLI is for
+interactive exploration without the pytest machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.harness import figures
+
+FIGURES: dict[str, Callable] = {
+    "1": figures.fig01_collective_wall,
+    "2": figures.fig02_breakdown,
+    "5": figures.fig05_aggregator_distribution,
+    "6": figures.fig06_ior,
+    "7": figures.fig07_tileio_groups,
+    "8": figures.fig08_sync_reduction,
+    "9": figures.fig09_scalability,
+    "10": figures.fig10_btio,
+    "11": figures.fig11_flashio,
+}
+
+#: figures whose functions accept a ``scale`` keyword
+_SCALED = {"1", "2", "6", "7", "8", "9", "10", "11"}
+
+
+def _run_figure(number: str, scale: str, chart: bool = False) -> int:
+    fn = FIGURES.get(number)
+    if fn is None:
+        print(f"unknown figure {number!r}; available: "
+              f"{', '.join(sorted(FIGURES, key=lambda s: int(s)))}",
+              file=sys.stderr)
+        return 2
+    kwargs = {"scale": scale} if number in _SCALED else {}
+    result = fn(**kwargs)
+    print(result.to_table())
+    if chart:
+        from repro.harness.plots import figure_chart
+
+        print()
+        print(figure_chart(result))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ParColl reproduction: regenerate paper figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figure", help="regenerate one figure")
+    p_fig.add_argument("number", help="paper figure number (1..11)")
+    p_fig.add_argument("--scale", choices=("small", "paper"),
+                       default="small")
+    p_fig.add_argument("--chart", action="store_true",
+                       help="also render a terminal chart of the series")
+
+    p_all = sub.add_parser("figures", help="regenerate every figure")
+    p_all.add_argument("--scale", choices=("small", "paper"),
+                       default="small")
+
+    sub.add_parser("calibrate", help="run platform micro-benchmarks")
+    sub.add_parser("list", help="list available figures")
+
+    args = parser.parse_args(argv)
+    if args.command == "figure":
+        return _run_figure(args.number, args.scale, chart=args.chart)
+    if args.command == "figures":
+        status = 0
+        for number in sorted(FIGURES, key=lambda s: int(s)):
+            status |= _run_figure(number, args.scale)
+            print()
+        return status
+    if args.command == "calibrate":
+        from repro.analysis import calibrate
+
+        print(calibrate().summary())
+        return 0
+    if args.command == "list":
+        for number in sorted(FIGURES, key=lambda s: int(s)):
+            doc = (FIGURES[number].__doc__ or "").strip().splitlines()[0]
+            print(f"figure {number:>2}: {doc}")
+        return 0
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Nodes, cores, and rank-to-node mappings.
+
+The Cray XT schedules one single-threaded process per core (Catamount has
+no threads), and the batch system maps MPI ranks onto nodes either in
+*block* order (consecutive ranks share a node) or *cyclic* order (rank i
+lands on node ``i % nnodes``).  ParColl's aggregator-distribution rules
+(Section 4.2 of the paper) are stated in terms of this mapping, so the
+machine model exposes it explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+Mapping = Literal["block", "cyclic"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static description of the simulated machine.
+
+    Defaults approximate a Jaguar (Cray XT4) partition: dual-core compute
+    PEs, one NIC per node.
+    """
+
+    nprocs: int = 8
+    cores_per_node: int = 2
+    mapping: Mapping = "block"
+
+    def __post_init__(self) -> None:
+        if self.nprocs <= 0:
+            raise ConfigError(f"nprocs must be positive, got {self.nprocs}")
+        if self.cores_per_node <= 0:
+            raise ConfigError(
+                f"cores_per_node must be positive, got {self.cores_per_node}"
+            )
+        if self.mapping not in ("block", "cyclic"):
+            raise ConfigError(f"unknown mapping {self.mapping!r}")
+
+    @property
+    def nnodes(self) -> int:
+        return -(-self.nprocs // self.cores_per_node)
+
+
+class Machine:
+    """Resolved machine: rank→node table and its inverse."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.nprocs = config.nprocs
+        self.nnodes = config.nnodes
+        self.node_of = compute_mapping(config.nprocs, config.cores_per_node,
+                                       config.mapping)
+        # inverse: node -> sorted ranks
+        order = np.argsort(self.node_of, kind="stable")
+        self._ranks_by_node: list[np.ndarray] = [
+            order[self.node_of[order] == n] for n in range(self.nnodes)
+        ]
+
+    def node_of_rank(self, rank: int) -> int:
+        if not 0 <= rank < self.nprocs:
+            raise ConfigError(f"rank {rank} out of range [0, {self.nprocs})")
+        return int(self.node_of[rank])
+
+    def ranks_on_node(self, node: int) -> list[int]:
+        if not 0 <= node < self.nnodes:
+            raise ConfigError(f"node {node} out of range [0, {self.nnodes})")
+        return [int(r) for r in self._ranks_by_node[node]]
+
+    def colocated(self, rank_a: int, rank_b: int) -> bool:
+        """True when both ranks run on the same physical node."""
+        return self.node_of_rank(rank_a) == self.node_of_rank(rank_b)
+
+
+def compute_mapping(nprocs: int, cores_per_node: int, mapping: Mapping) -> np.ndarray:
+    """Return the rank→node array for the given mapping scheme.
+
+    block:  ranks 0..c-1 on node 0, c..2c-1 on node 1, ...
+    cyclic: rank i on node i % nnodes.
+    """
+    nnodes = -(-nprocs // cores_per_node)
+    ranks = np.arange(nprocs)
+    if mapping == "block":
+        return ranks // cores_per_node
+    elif mapping == "cyclic":
+        return ranks % nnodes
+    raise ConfigError(f"unknown mapping {mapping!r}")

@@ -1,0 +1,89 @@
+"""Datatype base class and primitive types.
+
+A datatype is immutable once constructed.  Its flattened form — the
+``(offsets, lengths)`` byte segments of one instance relative to its lower
+bound — is computed lazily and cached, since workloads construct one view
+type and tile it millions of times.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DatatypeError
+from repro.datatypes.flatten import Segments, coalesce
+
+
+class Datatype:
+    """Base class: ``size`` data bytes inside an ``extent``-byte span."""
+
+    __slots__ = ("size", "extent", "lb", "_segments")
+
+    def __init__(self, size: int, extent: int, lb: int = 0):
+        if size < 0:
+            raise DatatypeError(f"datatype size must be >= 0, got {size}")
+        self.size = int(size)
+        self.extent = int(extent)
+        self.lb = int(lb)
+        self._segments: Optional[Segments] = None
+
+    @property
+    def ub(self) -> int:
+        return self.lb + self.extent
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True when one instance is a single dense run of bytes."""
+        offs, lens = self.segments()
+        return offs.size <= 1 and self.size == self.extent
+
+    def segments(self) -> Segments:
+        """Flattened data regions of ONE instance, relative to offset 0.
+
+        Cached; canonical (sorted, merged, positive lengths).
+        """
+        if self._segments is None:
+            offs, lens = self._build_segments()
+            segs = coalesce(offs, lens)
+            if int(segs[1].sum()) != self.size:
+                raise DatatypeError(
+                    f"{self!r}: flattened bytes {int(segs[1].sum())} != size {self.size}"
+                    " (overlapping typemap entries are not supported)"
+                )
+            self._segments = segs
+        return self._segments
+
+    def _build_segments(self) -> Segments:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"{type(self).__name__}(size={self.size}, extent={self.extent}, "
+                f"lb={self.lb})")
+
+
+class Primitive(Datatype):
+    """A named fixed-size elementary type (MPI_BYTE, MPI_DOUBLE, ...)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, size: int):
+        if size <= 0:
+            raise DatatypeError(f"primitive size must be positive, got {size}")
+        super().__init__(size=size, extent=size)
+        self.name = name
+
+    def _build_segments(self) -> Segments:
+        return (np.array([0], dtype=np.int64), np.array([self.size], dtype=np.int64))
+
+    def __repr__(self) -> str:
+        return f"Primitive({self.name}, {self.size}B)"
+
+
+BYTE = Primitive("byte", 1)
+CHAR = Primitive("char", 1)
+INT = Primitive("int", 4)
+INT64 = Primitive("int64", 8)
+FLOAT = Primitive("float", 4)
+DOUBLE = Primitive("double", 8)

@@ -1,0 +1,303 @@
+"""Derived-datatype constructors (MPI chapter 4 analogs).
+
+Displacement conventions follow MPI: ``Vector``/``Indexed`` count strides
+and displacements in *extents of the old type*; the ``H`` variants count
+bytes.  ``Subarray`` uses C (row-major) or Fortran (column-major) order
+and — as MPI requires for file views — has the extent of the *full* array,
+so tiling the filetype walks the global array.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.datatypes.base import Datatype
+from repro.datatypes.flatten import Segments, replicate
+from repro.errors import DatatypeError
+
+
+class Contiguous(Datatype):
+    """``count`` back-to-back copies of ``oldtype``."""
+
+    __slots__ = ("count", "oldtype")
+
+    def __init__(self, count: int, oldtype: Datatype):
+        if count < 0:
+            raise DatatypeError(f"count must be >= 0, got {count}")
+        super().__init__(size=count * oldtype.size, extent=count * oldtype.extent)
+        self.count = count
+        self.oldtype = oldtype
+
+    def _build_segments(self) -> Segments:
+        disps = np.arange(self.count, dtype=np.int64) * self.oldtype.extent
+        return replicate(self.oldtype.segments(), disps)
+
+
+class Vector(Datatype):
+    """``count`` blocks of ``blocklength`` oldtypes, stride in oldtype extents."""
+
+    __slots__ = ("count", "blocklength", "stride", "oldtype")
+
+    def __init__(self, count: int, blocklength: int, stride: int,
+                 oldtype: Datatype):
+        if count < 0 or blocklength < 0:
+            raise DatatypeError("count and blocklength must be >= 0")
+        size = count * blocklength * oldtype.size
+        if count == 0 or blocklength == 0:
+            extent = 0
+        else:
+            # span from the first block's lb to the last block's ub
+            first = 0
+            last = (count - 1) * stride * oldtype.extent + blocklength * oldtype.extent
+            lo = min(first, (count - 1) * stride * oldtype.extent)
+            extent = max(last, blocklength * oldtype.extent) - lo
+        super().__init__(size=size, extent=extent)
+        self.count = count
+        self.blocklength = blocklength
+        self.stride = stride
+        self.oldtype = oldtype
+
+    def _build_segments(self) -> Segments:
+        block = Contiguous(self.blocklength, self.oldtype)
+        disps = (np.arange(self.count, dtype=np.int64)
+                 * self.stride * self.oldtype.extent)
+        if disps.size and disps.min() < 0:
+            disps = disps - disps.min()  # negative strides: shift to lb 0
+        return replicate(block.segments(), disps)
+
+
+class HVector(Datatype):
+    """Like :class:`Vector` but with the stride given in bytes."""
+
+    __slots__ = ("count", "blocklength", "stride_bytes", "oldtype")
+
+    def __init__(self, count: int, blocklength: int, stride_bytes: int,
+                 oldtype: Datatype):
+        if count < 0 or blocklength < 0:
+            raise DatatypeError("count and blocklength must be >= 0")
+        size = count * blocklength * oldtype.size
+        if count == 0 or blocklength == 0:
+            extent = 0
+        else:
+            last = (count - 1) * stride_bytes + blocklength * oldtype.extent
+            lo = min(0, (count - 1) * stride_bytes)
+            extent = max(last, blocklength * oldtype.extent) - lo
+        super().__init__(size=size, extent=extent)
+        self.count = count
+        self.blocklength = blocklength
+        self.stride_bytes = stride_bytes
+        self.oldtype = oldtype
+
+    def _build_segments(self) -> Segments:
+        block = Contiguous(self.blocklength, self.oldtype)
+        disps = np.arange(self.count, dtype=np.int64) * self.stride_bytes
+        if disps.size and disps.min() < 0:
+            disps = disps - disps.min()
+        return replicate(block.segments(), disps)
+
+
+class Indexed(Datatype):
+    """Blocks of varying length at displacements in oldtype extents."""
+
+    __slots__ = ("blocklengths", "displacements", "oldtype")
+
+    def __init__(self, blocklengths: Sequence[int], displacements: Sequence[int],
+                 oldtype: Datatype):
+        bl = np.asarray(blocklengths, dtype=np.int64)
+        dis = np.asarray(displacements, dtype=np.int64)
+        if bl.shape != dis.shape:
+            raise DatatypeError("blocklengths/displacements length mismatch")
+        if bl.size and bl.min() < 0:
+            raise DatatypeError("blocklengths must be >= 0")
+        size = int(bl.sum()) * oldtype.size
+        if bl.size:
+            ub = int((dis + bl).max()) * oldtype.extent
+            lb = int(dis.min()) * oldtype.extent
+            extent = ub - min(lb, 0) if lb >= 0 else ub - lb
+        else:
+            extent = 0
+        super().__init__(size=size, extent=extent)
+        self.blocklengths = bl
+        self.displacements = dis
+        self.oldtype = oldtype
+
+    def _build_segments(self) -> Segments:
+        old = self.oldtype
+        if old.is_contiguous:
+            # fast path: each block is one run
+            offs = self.displacements * old.extent
+            lens = self.blocklengths * old.size
+            base = min(0, int(offs.min())) if offs.size else 0
+            return offs - base, lens
+        parts_o, parts_l = [], []
+        for bl, dis in zip(self.blocklengths, self.displacements):
+            block = Contiguous(int(bl), old)
+            o, l = block.segments()
+            parts_o.append(o + dis * old.extent)
+            parts_l.append(l)
+        if not parts_o:
+            return (np.empty(0, np.int64), np.empty(0, np.int64))
+        offs = np.concatenate(parts_o)
+        base = min(0, int(offs.min())) if offs.size else 0
+        return offs - base, np.concatenate(parts_l)
+
+
+class HIndexed(Datatype):
+    """Blocks of oldtypes at byte displacements."""
+
+    __slots__ = ("blocklengths", "displacements", "oldtype")
+
+    def __init__(self, blocklengths: Sequence[int], displacements: Sequence[int],
+                 oldtype: Datatype):
+        bl = np.asarray(blocklengths, dtype=np.int64)
+        dis = np.asarray(displacements, dtype=np.int64)
+        if bl.shape != dis.shape:
+            raise DatatypeError("blocklengths/displacements length mismatch")
+        if bl.size and bl.min() < 0:
+            raise DatatypeError("blocklengths must be >= 0")
+        size = int(bl.sum()) * oldtype.size
+        if bl.size:
+            ub = int((dis + bl * oldtype.extent).max())
+            lb = min(0, int(dis.min()))
+            extent = ub - lb
+        else:
+            extent = 0
+        super().__init__(size=size, extent=extent)
+        self.blocklengths = bl
+        self.displacements = dis
+        self.oldtype = oldtype
+
+    def _build_segments(self) -> Segments:
+        old = self.oldtype
+        parts_o, parts_l = [], []
+        for bl, dis in zip(self.blocklengths, self.displacements):
+            block = Contiguous(int(bl), old)
+            o, l = block.segments()
+            parts_o.append(o + int(dis))
+            parts_l.append(l)
+        if not parts_o:
+            return (np.empty(0, np.int64), np.empty(0, np.int64))
+        offs = np.concatenate(parts_o)
+        base = min(0, int(offs.min())) if offs.size else 0
+        return offs - base, np.concatenate(parts_l)
+
+
+class Struct(Datatype):
+    """Heterogeneous blocks: types at byte displacements."""
+
+    __slots__ = ("blocklengths", "displacements", "types")
+
+    def __init__(self, blocklengths: Sequence[int], displacements: Sequence[int],
+                 types: Sequence[Datatype]):
+        if not (len(blocklengths) == len(displacements) == len(types)):
+            raise DatatypeError("struct argument length mismatch")
+        if any(b < 0 for b in blocklengths):
+            raise DatatypeError("blocklengths must be >= 0")
+        size = sum(b * t.size for b, t, in zip(blocklengths, types))
+        if types:
+            ub = max(d + b * t.extent
+                     for b, d, t in zip(blocklengths, displacements, types))
+            lb = min(0, min(displacements))
+            extent = ub - lb
+        else:
+            extent = 0
+        super().__init__(size=size, extent=extent)
+        self.blocklengths = list(blocklengths)
+        self.displacements = list(displacements)
+        self.types = list(types)
+
+    def _build_segments(self) -> Segments:
+        parts_o, parts_l = [], []
+        for bl, dis, t in zip(self.blocklengths, self.displacements, self.types):
+            block = Contiguous(int(bl), t)
+            o, l = block.segments()
+            parts_o.append(o + int(dis))
+            parts_l.append(l)
+        if not parts_o:
+            return (np.empty(0, np.int64), np.empty(0, np.int64))
+        offs = np.concatenate(parts_o)
+        base = min(0, int(offs.min())) if offs.size else 0
+        return offs - base, np.concatenate(parts_l)
+
+
+class Subarray(Datatype):
+    """An n-dimensional subarray of a global array (MPI_Type_create_subarray).
+
+    ``extent`` covers the *whole* global array, so using the type as an
+    MPI-IO filetype tiles the global array exactly — each tile instance
+    addresses its own copy of the array.
+    """
+
+    __slots__ = ("shape", "subsizes", "starts", "order", "oldtype")
+
+    def __init__(self, shape: Sequence[int], subsizes: Sequence[int],
+                 starts: Sequence[int], oldtype: Datatype, order: str = "C"):
+        shape = tuple(int(s) for s in shape)
+        subsizes = tuple(int(s) for s in subsizes)
+        starts = tuple(int(s) for s in starts)
+        if not (len(shape) == len(subsizes) == len(starts)) or not shape:
+            raise DatatypeError("shape/subsizes/starts must share a nonzero length")
+        if order not in ("C", "F"):
+            raise DatatypeError(f"order must be 'C' or 'F', got {order!r}")
+        for dim, (n, sub, st) in enumerate(zip(shape, subsizes, starts)):
+            if n <= 0 or sub < 0 or st < 0 or st + sub > n:
+                raise DatatypeError(
+                    f"invalid subarray dim {dim}: size {n}, subsize {sub}, start {st}"
+                )
+        nelems = math.prod(subsizes)
+        super().__init__(size=nelems * oldtype.size,
+                         extent=math.prod(shape) * oldtype.extent)
+        self.shape = shape
+        self.subsizes = subsizes
+        self.starts = starts
+        self.order = order
+        self.oldtype = oldtype
+
+    def _build_segments(self) -> Segments:
+        old = self.oldtype
+        if self.order == "C":
+            shape, subsizes, starts = self.shape, self.subsizes, self.starts
+        else:  # F order: reverse dims so the fastest axis is last
+            shape = self.shape[::-1]
+            subsizes = self.subsizes[::-1]
+            starts = self.starts[::-1]
+        # element strides per dim (in elements of the global array)
+        strides = np.ones(len(shape), dtype=np.int64)
+        for d in range(len(shape) - 2, -1, -1):
+            strides[d] = strides[d + 1] * shape[d + 1]
+        # runs are contiguous along the last dim
+        run_elems = subsizes[-1]
+        outer_dims = len(shape) - 1
+        if run_elems == 0 or any(s == 0 for s in subsizes):
+            return (np.empty(0, np.int64), np.empty(0, np.int64))
+        # displacement of every run start: cross-product of outer indices,
+        # accumulated by broadcasting (no Python loop over runs)
+        run_starts = np.array([starts[-1] * strides[-1]], dtype=np.int64)
+        for d in range(outer_dims):
+            idx = (starts[d] + np.arange(subsizes[d], dtype=np.int64)) * strides[d]
+            run_starts = (run_starts.reshape(-1, 1) + idx.reshape(1, -1)).ravel()
+        run_starts.sort()
+        if old.is_contiguous:
+            offs = run_starts * old.extent
+            lens = np.full(run_starts.size, run_elems * old.size, dtype=np.int64)
+            return offs, lens
+        run = Contiguous(run_elems, old)
+        return replicate(run.segments(), run_starts * old.extent)
+
+
+class Resized(Datatype):
+    """Override the extent (and lb) of an existing type (MPI_Type_create_resized)."""
+
+    __slots__ = ("oldtype",)
+
+    def __init__(self, oldtype: Datatype, lb: int, extent: int):
+        if extent < 0:
+            raise DatatypeError(f"extent must be >= 0, got {extent}")
+        super().__init__(size=oldtype.size, extent=extent, lb=lb)
+        self.oldtype = oldtype
+
+    def _build_segments(self) -> Segments:
+        return self.oldtype.segments()

@@ -1,0 +1,78 @@
+"""Pack/unpack bytes between buffers and segment lists.
+
+``gather_segments`` pulls the bytes a segment list addresses out of a
+buffer into one dense array (pack); ``scatter_segments`` pushes dense
+bytes back out (unpack).  A vectorized index-building fast path handles
+the many-small-segments shape that tiled file views produce; large
+segments copy via slices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatatypeError
+
+#: below this mean segment length, build a flat fancy index instead of slicing
+_FANCY_THRESHOLD = 512
+
+
+def _check(buf: np.ndarray, offsets: np.ndarray, lengths: np.ndarray) -> None:
+    if buf.dtype != np.uint8 or buf.ndim != 1:
+        raise DatatypeError("buffer must be a 1-D uint8 array")
+    if offsets.size and int(offsets[-1] + lengths[-1]) > buf.size:
+        raise DatatypeError(
+            f"segments extend to {int(offsets[-1] + lengths[-1])} beyond "
+            f"buffer of {buf.size} bytes"
+        )
+
+
+def _flat_indices(offsets: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Expand segments to a flat byte-index array (vectorized)."""
+    total = int(lengths.sum())
+    # start-of-segment positions within the dense output
+    out_starts = np.zeros(offsets.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=out_starts[1:])
+    idx = np.arange(total, dtype=np.int64)
+    seg_of = np.repeat(np.arange(offsets.size, dtype=np.int64), lengths)
+    return offsets[seg_of] + (idx - out_starts[seg_of])
+
+
+def gather_segments(buf: np.ndarray, offsets, lengths) -> np.ndarray:
+    """Return the bytes of ``buf`` addressed by the segments, densely packed."""
+    offsets = np.asarray(offsets, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    _check(buf, offsets, lengths)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.uint8)
+    if offsets.size > 4 and total / offsets.size < _FANCY_THRESHOLD:
+        return buf[_flat_indices(offsets, lengths)]
+    out = np.empty(total, dtype=np.uint8)
+    pos = 0
+    for off, ln in zip(offsets.tolist(), lengths.tolist()):
+        out[pos:pos + ln] = buf[off:off + ln]
+        pos += ln
+    return out
+
+
+def scatter_segments(buf: np.ndarray, offsets, lengths, data: np.ndarray) -> None:
+    """Write densely-packed ``data`` into ``buf`` at the segment positions."""
+    offsets = np.asarray(offsets, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    _check(buf, offsets, lengths)
+    total = int(lengths.sum())
+    data = np.asarray(data, dtype=np.uint8).ravel()
+    if data.size != total:
+        raise DatatypeError(
+            f"data has {data.size} bytes but segments cover {total}"
+        )
+    if total == 0:
+        return
+    if offsets.size > 4 and total / offsets.size < _FANCY_THRESHOLD:
+        buf[_flat_indices(offsets, lengths)] = data
+        return
+    pos = 0
+    for off, ln in zip(offsets.tolist(), lengths.tolist()):
+        buf[off:off + ln] = data[pos:pos + ln]
+        pos += ln

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """A failure inside the discrete-event engine."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while tasks were still blocked.
+
+    Carries the list of blocked task descriptions to make MPI hangs
+    (mismatched tags, missing participants in a collective) diagnosable.
+    """
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        detail = "\n  ".join(self.blocked) or "<no task detail>"
+        super().__init__(
+            f"simulation deadlock: {len(self.blocked)} task(s) still blocked:\n  {detail}"
+        )
+
+
+class TaskFailedError(SimulationError):
+    """A spawned task raised and nobody was joined to observe it.
+
+    ``original`` preserves the underlying exception so entry points (e.g.
+    :meth:`repro.simmpi.World.launch`) can re-raise it undecorated.
+    """
+
+    def __init__(self, task_name: str, original: BaseException):
+        self.task_name = task_name
+        self.original = original
+        super().__init__(f"task {task_name!r} failed: {original!r}")
+
+
+class MPIError(ReproError):
+    """An MPI semantic violation (bad rank, truncation, invalid comm...)."""
+
+
+class DatatypeError(ReproError):
+    """An invalid derived-datatype construction or use."""
+
+
+class FileSystemError(ReproError):
+    """A simulated-Lustre failure (unknown file, bad extent, ...)."""
+
+
+class MPIIOError(ReproError):
+    """An MPI-IO level failure (bad view, access outside view, hints...)."""
+
+
+class ParCollError(ReproError):
+    """A ParColl protocol failure (unpartitionable pattern, bad grouping...)."""
+
+
+class ConfigError(ReproError):
+    """An invalid experiment or machine configuration."""

@@ -1,0 +1,22 @@
+"""Experiment harness: build a simulated platform, run a workload, report.
+
+:mod:`repro.harness.runner` assembles machine + network + Lustre + MPI-IO
+from an :class:`ExperimentConfig` and runs a workload program on every
+rank, returning aggregate bandwidth and the per-category time breakdown.
+:mod:`repro.harness.figures` defines one experiment per paper figure;
+:mod:`repro.harness.report` renders paper-style text tables.
+"""
+
+from repro.harness.runner import ExperimentConfig, RunResult, run_experiment
+from repro.harness.report import format_table, mb_per_s
+from repro.harness.sweep import Sweep, SweepPoint
+
+__all__ = [
+    "ExperimentConfig",
+    "RunResult",
+    "run_experiment",
+    "format_table",
+    "mb_per_s",
+    "Sweep",
+    "SweepPoint",
+]

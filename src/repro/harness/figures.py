@@ -1,0 +1,393 @@
+"""One experiment definition per paper figure.
+
+Each ``figNN_*`` function runs the simulated experiment(s) behind the
+corresponding figure of the paper and returns a :class:`FigureResult`
+with the same rows/series the paper plots.  Scales are parameterized:
+the defaults finish in seconds for tests; ``scale='paper'`` uses the
+paper's process counts and per-process volumes (minutes of wall time,
+used by the benchmark harness and EXPERIMENTS.md).
+
+Absolute MB/s depend on the simulated hardware constants and are not
+expected to match Jaguar; the claims under test are the *shapes*: who
+wins, by roughly what factor, and where optima/crossovers fall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, Optional, Sequence
+
+from repro.cluster import Machine, MachineConfig
+from repro.harness.report import format_table, mb_per_s
+from repro.harness.runner import ExperimentConfig, RunResult, run_experiment
+from repro.mpiio.hints import IOHints
+from repro.parcoll import distribute_aggregators
+from repro.workloads import (BTIOConfig, FlashIOConfig, IORConfig,
+                             TileIOConfig, btio_program, flash_io_program,
+                             ior_program, tile_io_program)
+
+#: Lustre setup of the paper's testbed: 72 OSTs, 64-way striping, 4 MB
+PAPER_LUSTRE = {"n_osts": 72, "default_stripe_count": 64,
+                "default_stripe_size": 4 << 20}
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: table rows plus free-form series data."""
+
+    figure: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    series: dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_table(self) -> str:
+        out = format_table(self.headers, self.rows,
+                           title=f"{self.figure}: {self.title}")
+        if self.notes:
+            out += f"\n  note: {self.notes}"
+        return out
+
+
+def _platform(nprocs: int, **overrides: Any) -> ExperimentConfig:
+    kw: dict[str, Any] = {"nprocs": nprocs, "lustre": dict(PAPER_LUSTRE)}
+    lustre_extra = overrides.pop("lustre", None)
+    if lustre_extra:
+        kw["lustre"].update(lustre_extra)
+    kw.update(overrides)
+    return ExperimentConfig(**kw)
+
+
+def _tile_cfg(scale: str, hints: Optional[dict] = None,
+              mode: str = "write") -> TileIOConfig:
+    """The paper's 1024x768 tile of 64 B elements (48 MB/process).
+
+    The collective wall is a *volume x contention* phenomenon: shrinking
+    the tile hides it, so both scales keep the paper's tile and differ
+    only in process counts (model mode never materializes the bytes).
+    """
+    return TileIOConfig(tile_rows=1024, tile_cols=768, element_size=64,
+                        hints=hints, mode=mode)
+
+
+# ---------------------------------------------------------------------------
+# Figures 1 & 2 — the collective wall / time breakdown
+# ---------------------------------------------------------------------------
+def fig01_collective_wall(procs: Sequence[int] = (16, 32, 64, 128, 256),
+                          scale: str = "small") -> FigureResult:
+    """Sync share of MPI-Tile-IO collective-write time vs process count."""
+    rows = []
+    shares = {}
+    for p in procs:
+        wl = _tile_cfg(scale, hints={"protocol": "ext2ph"})
+        res = run_experiment(_platform(p), partial(tile_io_program, wl))
+        share = res.category_share("sync")
+        shares[p] = share
+        rows.append([p, round(100 * share, 1),
+                     round(res.breakdown["sync"]["max"], 3),
+                     round(mb_per_s(res.write_bandwidth), 0)])
+    return FigureResult(
+        figure="Figure 1",
+        title="The collective wall: synchronization share grows with scale",
+        headers=["procs", "sync %", "sync max (s)", "write MB/s"],
+        rows=rows,
+        series={"sync_share": shares},
+        notes="paper: sync reaches 72% of total time at 512 processes",
+    )
+
+
+def fig02_breakdown(procs: Sequence[int] = (16, 32, 64, 128, 256),
+                    scale: str = "small") -> FigureResult:
+    """Per-category time breakdown of collective I/O vs process count."""
+    rows = []
+    series: dict[str, dict[int, float]] = {"sync": {}, "exchange": {}, "io": {}}
+    for p in procs:
+        wl = _tile_cfg(scale, hints={"protocol": "ext2ph"})
+        res = run_experiment(_platform(p), partial(tile_io_program, wl))
+        row = [p]
+        for cat in ("sync", "exchange", "io"):
+            t = res.breakdown.get(cat, {}).get("max", 0.0)
+            series[cat][p] = t
+            row.append(round(t, 4))
+        rows.append(row)
+    return FigureResult(
+        figure="Figure 2",
+        title="Collective I/O time breakdown (max across ranks, seconds)",
+        headers=["procs", "sync", "exchange (p2p)", "file I/O"],
+        rows=rows,
+        series=series,
+        notes="paper: sync grows much faster than p2p and file I/O",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — aggregator distribution worked example
+# ---------------------------------------------------------------------------
+def fig05_aggregator_distribution() -> FigureResult:
+    """The paper's 8-process block/cyclic distribution example, recomputed."""
+    rows = []
+    groups = [[0, 1, 2, 3], [4, 5, 6, 7]]
+    world = list(range(8))
+    for mapping, agg_list in (("block", [0, 2, 4, 6]), ("cyclic", [0, 2, 3])):
+        machine = Machine(MachineConfig(nprocs=8, cores_per_node=2,
+                                        mapping=mapping))
+        out = distribute_aggregators(groups, agg_list, world, machine)
+        for gi, aggs in enumerate(out):
+            pretty = ", ".join(
+                f"N{machine.node_of_rank(a)}(P{a})" for a in aggs
+            )
+            rows.append([mapping, f"SubGroup {gi + 1}", pretty])
+    return FigureResult(
+        figure="Figure 5",
+        title="Distribution of I/O aggregators (worked example)",
+        headers=["mapping", "subgroup", "aggregators"],
+        rows=rows,
+        notes="matches the paper's table exactly (see tests)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — IOR collective write, ParColl-N vs baseline
+# ---------------------------------------------------------------------------
+def fig06_ior(procs: Sequence[int] = (32, 128),
+              group_counts: Sequence[int] = (2, 4, 8, 16),
+              scale: str = "small") -> FigureResult:
+    """IOR contiguous collective write bandwidth for ParColl-N vs baseline."""
+    # enough transfers per block that subgroups can drift apart; the paper
+    # writes 512 MB/process in 4 MB units
+    if scale == "paper":
+        block, xfer = 128 << 20, 4 << 20
+    else:
+        block, xfer = 64 << 20, 4 << 20
+    rows = []
+    series: dict[str, dict[int, float]] = {}
+    for p in procs:
+        variants: list[tuple[str, dict]] = [("Cray (ext2ph)",
+                                             {"protocol": "ext2ph"})]
+        variants += [(f"ParColl-{g}", {"protocol": "parcoll",
+                                       "parcoll_ngroups": g})
+                     for g in group_counts if g <= p]
+        for name, hints in variants:
+            wl = IORConfig(block_size=block, transfer_size=xfer, hints=hints)
+            res = run_experiment(_platform(p), partial(ior_program, wl))
+            bw = mb_per_s(res.write_bandwidth)
+            series.setdefault(name, {})[p] = bw
+            rows.append([p, name, round(bw, 0),
+                         round(res.breakdown["sync"]["max"], 2)])
+    return FigureResult(
+        figure="Figure 6",
+        title="IOR collective write bandwidth (MB/s)",
+        headers=["procs", "variant", "MB/s", "sync max (s)"],
+        rows=rows,
+        series=series,
+        notes="paper: 12.8x over the 380 MB/s baseline at 512 processes",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 7 & 8 — MPI-Tile-IO vs subgroup count; sync reduction
+# ---------------------------------------------------------------------------
+def fig07_tileio_groups(nprocs: int = 64,
+                        group_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+                        scale: str = "small",
+                        include_read: bool = True) -> FigureResult:
+    """Tile-IO write/read bandwidth vs number of subgroups."""
+    rows = []
+    series: dict[str, dict[int, float]] = {"write": {}, "read": {},
+                                           "sync_max": {}, "sync_share": {}}
+    mode = "both" if include_read else "write"
+    for g in group_counts:
+        hints = ({"protocol": "ext2ph"} if g == 1
+                 else {"protocol": "parcoll", "parcoll_ngroups": g})
+        wl = _tile_cfg(scale, hints=hints, mode=mode)
+        res = run_experiment(_platform(nprocs),
+                             partial(tile_io_program, wl))
+        wbw = mb_per_s(res.write_bandwidth)
+        rbw = mb_per_s(res.read_bandwidth)
+        series["write"][g] = wbw
+        series["read"][g] = rbw
+        series["sync_max"][g] = res.breakdown["sync"]["max"]
+        series["sync_share"][g] = res.category_share("sync")
+        rows.append([g, round(wbw, 0), round(rbw, 0),
+                     round(res.breakdown["sync"]["max"], 3),
+                     round(100 * res.category_share("sync"), 1)])
+    return FigureResult(
+        figure="Figure 7",
+        title=f"MPI-Tile-IO vs subgroup count ({nprocs} procs)",
+        headers=["groups", "write MB/s", "read MB/s", "sync max (s)",
+                 "sync %"],
+        rows=rows,
+        series=series,
+        notes="paper: optimum at 64 subgroups (512 procs), +210% write; "
+              "over-partitioning collapses performance",
+    )
+
+
+def fig08_sync_reduction(nprocs: int = 64,
+                         group_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+                         scale: str = "small") -> FigureResult:
+    """Absolute and relative synchronization cost vs subgroup count."""
+    base = fig07_tileio_groups(nprocs, group_counts, scale,
+                               include_read=False)
+    rows = []
+    base_sync = base.series["sync_max"][group_counts[0]]
+    for g in group_counts:
+        s = base.series["sync_max"][g]
+        rows.append([g, round(s, 3),
+                     round(100 * base.series["sync_share"][g], 1),
+                     round(base_sync / s if s > 0 else float("inf"), 2)])
+    return FigureResult(
+        figure="Figure 8",
+        title=f"Reduction of synchronization cost ({nprocs} procs)",
+        headers=["groups", "sync max (s)", "sync %", "reduction vs G=1"],
+        rows=rows,
+        series=base.series,
+        notes="paper: sync falls in absolute value and share until "
+              "over-partitioning",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — scalability of the best ParColl vs baseline
+# ---------------------------------------------------------------------------
+def fig09_scalability(procs: Sequence[int] = (32, 64, 128, 256),
+                      scale: str = "small",
+                      groups_for: Optional[Callable[[int], list]] = None
+                      ) -> FigureResult:
+    """Best-ParColl vs baseline tile-IO write bandwidth vs process count.
+
+    The paper plots the *best* ParColl point per process count; we try a
+    couple of group-count candidates (around P/32 and P/16 — staying at
+    or below the tile grid's row count keeps the partition direct) and
+    keep the winner.
+    """
+    groups_for = groups_for or (
+        lambda p: sorted({max(2, p // 32), max(2, p // 16)}))
+    rows = []
+    series: dict[str, dict[int, float]] = {"baseline": {}, "parcoll": {}}
+    for p in procs:
+        wl_b = _tile_cfg(scale, hints={"protocol": "ext2ph"})
+        res_b = run_experiment(_platform(p), partial(tile_io_program, wl_b))
+        best_g, best_bw = None, -1.0
+        for g in groups_for(p):
+            wl_p = _tile_cfg(scale, hints={"protocol": "parcoll",
+                                           "parcoll_ngroups": g})
+            res_p = run_experiment(_platform(p),
+                                   partial(tile_io_program, wl_p))
+            bw = mb_per_s(res_p.write_bandwidth)
+            if bw > best_bw:
+                best_g, best_bw = g, bw
+        b, q = mb_per_s(res_b.write_bandwidth), best_bw
+        series["baseline"][p] = b
+        series["parcoll"][p] = q
+        rows.append([p, best_g, round(b, 0), round(q, 0),
+                     round(100 * q / b, 0) if b else float("inf")])
+    return FigureResult(
+        figure="Figure 9",
+        title="Improved scalability of MPI-Tile-IO (collective write)",
+        headers=["procs", "groups", "Cray MB/s", "ParColl MB/s",
+                 "ParColl % of Cray"],
+        rows=rows,
+        series=series,
+        notes="paper: 416% at 1024 processes (11.4 vs 2.7 GB/s); gap widens "
+              "with scale",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — BT-IO
+# ---------------------------------------------------------------------------
+def fig10_btio(procs: Sequence[int] = (16, 64, 144, 256),
+               scale: str = "small",
+               ngroups: Optional[Callable[[int], int]] = None
+               ) -> FigureResult:
+    """BT-IO full-mode write bandwidth, ParColl vs baseline, vs procs.
+
+    Class-C-like strong scaling: a *fixed* solution array is dumped
+    repeatedly while the solver computes between dumps (with per-rank
+    imbalance).  Bandwidth is over the summed I/O-operation time, like
+    the benchmark reports.
+    """
+    ngroups = ngroups or (lambda p: max(2, p // 16))
+    # a FIXED solution volume (strong scaling, like class C's 170 MB/dump):
+    # growing the grid with the scale would flip the workload into a
+    # bandwidth-bound regime the real benchmark is not in.
+    # 144 is divisible by q = 4, 8, 12, 16 and 24 (procs up to 576).
+    grid = 144
+    nsteps = 10 if scale == "paper" else 6
+    rows = []
+    series: dict[str, dict[int, float]] = {"baseline": {}, "parcoll": {}}
+    for p in procs:
+        common = dict(grid_points=grid, nsteps=nsteps,
+                      compute_seconds=0.05, compute_jitter=0.03)
+        base = BTIOConfig(hints={"protocol": "ext2ph"}, **common)
+        res_b = run_experiment(_platform(p), partial(btio_program, base))
+        pc = BTIOConfig(hints={"protocol": "parcoll",
+                               "parcoll_ngroups": ngroups(p)}, **common)
+        res_p = run_experiment(_platform(p), partial(btio_program, pc))
+        b = mb_per_s(res_b.io_phase_bandwidth)
+        q = mb_per_s(res_p.io_phase_bandwidth)
+        series["baseline"][p] = b
+        series["parcoll"][p] = q
+        rows.append([p, ngroups(p), round(b, 0), round(q, 0),
+                     round(100 * q / b, 0) if b else float("inf")])
+    return FigureResult(
+        figure="Figure 10",
+        title="BT-IO (full mode) write bandwidth, intermediate file views",
+        headers=["procs", "groups", "Cray MB/s", "ParColl MB/s",
+                 "ParColl % of Cray"],
+        rows=rows,
+        series=series,
+        notes="paper: ParColl wins at scale with an interior optimum in "
+              "process count; the pattern requires intermediate file views",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — Flash I/O
+# ---------------------------------------------------------------------------
+def fig11_flashio(nprocs: int = 64, ngroups: int = 8,
+                  scale: str = "small") -> FigureResult:
+    """Flash checkpoint bandwidth: baseline vs ParColl, default and
+    reduced aggregator counts, plus the non-collective disaster case."""
+    if scale == "paper":
+        # the paper's 24 unknowns; block volume scaled so that the
+        # sync:io ratio at this process count matches the 1024-process,
+        # 32^3-block regime the paper measures (growing only the per-rank
+        # volume drowns the protocol effect in raw OST capacity)
+        fcfg = dict(nxb=16, nyb=16, nzb=16, blocks_per_proc=20, nvars=24)
+    else:
+        fcfg = dict(nxb=16, nyb=16, nzb=16, blocks_per_proc=16, nvars=12)
+    reduced_aggs = max(4, nprocs // 16)
+    variants = [
+        ("Cray (default aggs)", {"protocol": "ext2ph"}),
+        (f"ParColl-{ngroups} (default aggs)",
+         {"protocol": "parcoll", "parcoll_ngroups": ngroups}),
+        (f"Cray ({reduced_aggs} aggs)",
+         {"protocol": "ext2ph", "cb_nodes": reduced_aggs}),
+        (f"ParColl-{ngroups} ({reduced_aggs} aggs)",
+         {"protocol": "parcoll", "parcoll_ngroups": ngroups,
+          "cb_nodes": reduced_aggs}),
+        ("Cray w/o Coll", {"protocol": "independent"}),
+    ]
+    rows = []
+    series: dict[str, float] = {}
+    for name, hints in variants:
+        wl = FlashIOConfig(hints=hints, **fcfg)
+        res = run_experiment(_platform(nprocs),
+                             partial(flash_io_program, wl))
+        bw = mb_per_s(res.write_bandwidth)
+        series[name] = bw
+        rows.append([name, round(bw, 0),
+                     round(res.breakdown["sync"]["max"], 2)])
+    return FigureResult(
+        figure="Figure 11",
+        title=f"Flash I/O checkpoint write bandwidth ({nprocs} procs)",
+        headers=["variant", "MB/s", "sync max (s)"],
+        rows=rows,
+        series=series,
+        notes="paper: +38.5% for ParColl-64 at 1024 procs; non-collective "
+              "I/O collapses to ~60 MB/s",
+    )

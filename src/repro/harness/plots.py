@@ -1,0 +1,101 @@
+"""Terminal plots: render figure series without a plotting stack.
+
+The benchmarks print tables; these helpers add the visual shapes the
+paper's figures carry — bar charts for variant comparisons, line charts
+for scaling curves — as plain unicode text.  No matplotlib dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Optional, Sequence
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def hbar_chart(values: Mapping[Any, float], width: int = 48,
+               title: Optional[str] = None, unit: str = "") -> str:
+    """Horizontal bar chart, one row per key, scaled to the maximum."""
+    if not values:
+        return title or ""
+    vmax = max(values.values())
+    label_w = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for k, v in values.items():
+        frac = v / vmax if vmax > 0 else 0.0
+        whole = int(frac * width)
+        rem = int((frac * width - whole) * 8)
+        bar = "█" * whole + (_BLOCKS[rem] if rem else "")
+        lines.append(f"{str(k):>{label_w}} │{bar:<{width}} "
+                     f"{v:,.0f}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(series: Mapping[str, Mapping[float, float]], width: int = 60,
+               height: int = 12, title: Optional[str] = None,
+               logx: bool = False) -> str:
+    """Multi-series scatter/line chart on a character canvas.
+
+    Each series gets its own marker; the x axis is shared (optionally
+    log-scaled for process-count sweeps).
+    """
+    markers = "ox+*#@%&"
+    xs_all = sorted({x for s in series.values() for x in s})
+    ys_all = [y for s in series.values() for y in s.values()]
+    if not xs_all or not ys_all:
+        return title or ""
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    def xpos(x: float) -> int:
+        if logx:
+            if x <= 0 or x_lo <= 0 or x_hi == x_lo:
+                return 0
+            f = (math.log(x) - math.log(x_lo)) / (math.log(x_hi)
+                                                  - math.log(x_lo))
+        else:
+            f = (x - x_lo) / (x_hi - x_lo) if x_hi > x_lo else 0.0
+        return min(width - 1, int(f * (width - 1)))
+
+    def ypos(y: float) -> int:
+        f = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, int(f * (height - 1)))
+
+    canvas = [[" "] * width for _ in range(height)]
+    for i, (name, pts) in enumerate(series.items()):
+        mark = markers[i % len(markers)]
+        for x, y in pts.items():
+            canvas[height - 1 - ypos(y)][xpos(x)] = mark
+    lines = [title] if title else []
+    lines.append(f"{y_hi:>12,.0f} ┐")
+    for row in canvas:
+        lines.append(" " * 13 + "│" + "".join(row))
+    lines.append(f"{y_lo:>12,.0f} ┴" + "─" * width)
+    lines.append(" " * 14 + f"{x_lo:<10g}" + " " * max(0, width - 20)
+                 + f"{x_hi:>10g}")
+    legend = "   ".join(f"{markers[i % len(markers)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * 14 + legend)
+    return "\n".join(lines)
+
+
+def figure_chart(result, series_names: Optional[Sequence[str]] = None,
+                 logx: bool = True) -> str:
+    """Best-effort chart for a FigureResult with dict-of-dict series."""
+    numeric = {}
+    for name, s in result.series.items():
+        if isinstance(s, Mapping) and s and all(
+                isinstance(v, (int, float)) for v in s.values()):
+            if series_names is None or name in series_names:
+                numeric[str(name)] = {float(k): float(v)
+                                      for k, v in s.items()}
+    if not numeric:
+        flat = {k: v for k, v in result.series.items()
+                if isinstance(v, (int, float))}
+        if flat:
+            return hbar_chart(flat, title=f"{result.figure}: {result.title}")
+        return result.to_table()
+    return line_chart(numeric, title=f"{result.figure}: {result.title}",
+                      logx=logx)

@@ -1,0 +1,44 @@
+"""Plain-text report rendering in the paper's units (MB/s, percent)."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def mb_per_s(bytes_per_s: float) -> float:
+    """Bytes/second to the paper's MB/s (10^6, as IOR reports)."""
+    return bytes_per_s / 1e6
+
+
+def pct(fraction: float) -> str:
+    return f"{100.0 * fraction:.1f}%"
+
+
+def format_cell(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 100:
+            return f"{v:,.0f}"
+        if abs(v) >= 1:
+            return f"{v:.2f}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: str | None = None) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    srows = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Build a platform from a config, run a workload, collect metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from repro.cluster import MachineConfig, NetworkParams, Torus3D
+from repro.errors import ConfigError
+from repro.lustre import LustreFS, LustreParams
+from repro.mpiio import MPIIO
+from repro.simmpi import World
+from repro.simmpi.timers import summarize
+from repro.workloads.base import WorkloadIOStats
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Platform configuration for one run.
+
+    ``net`` and ``lustre`` are keyword overrides for
+    :class:`NetworkParams` / :class:`LustreParams`; experiments default to
+    model mode (no data bytes) so paper-scale runs stay cheap.
+    """
+
+    nprocs: int
+    cores_per_node: int = 2
+    mapping: str = "block"
+    collective_mode: str = "analytic"
+    use_torus: bool = False
+    net: dict = field(default_factory=dict)
+    lustre: dict = field(default_factory=dict)
+    seed: int = 0
+
+    def build(self) -> tuple[World, LustreFS, MPIIO]:
+        machine = MachineConfig(nprocs=self.nprocs,
+                                cores_per_node=self.cores_per_node,
+                                mapping=self.mapping)
+        topology = Torus3D.fit(machine.nnodes) if self.use_torus else None
+        world = World(machine, net_params=NetworkParams(**self.net),
+                      topology=topology,
+                      collective_mode=self.collective_mode)
+        lustre_kw = {"store_data": False, **self.lustre}
+        fs = LustreFS(world.engine, LustreParams(**lustre_kw), seed=self.seed)
+        return world, fs, MPIIO(world, fs)
+
+
+@dataclass
+class RunResult:
+    """Aggregated metrics of one experiment run."""
+
+    config: ExperimentConfig
+    per_rank: list[WorkloadIOStats]
+    breakdown: dict[str, dict[str, float]]
+    events: int
+    messages: int
+    elapsed_total: float
+
+    def _phase(self, attr: str) -> tuple[int, float]:
+        total_bytes = 0
+        start, end = None, None
+        for st in self.per_rank:
+            times = getattr(st, attr)
+            total_bytes += (st.bytes_written if attr == "write_times"
+                            else st.bytes_read)
+            if times is None:
+                continue
+            start = times.start if start is None else min(start, times.start)
+            end = times.end if end is None else max(end, times.end)
+        if start is None or end <= start:
+            return total_bytes, 0.0
+        return total_bytes, end - start
+
+    @property
+    def write_bandwidth(self) -> float:
+        """Aggregate write bandwidth in bytes/second."""
+        nbytes, secs = self._phase("write_times")
+        return nbytes / secs if secs > 0 else 0.0
+
+    @property
+    def read_bandwidth(self) -> float:
+        nbytes, secs = self._phase("read_times")
+        return nbytes / secs if secs > 0 else 0.0
+
+    @property
+    def write_elapsed(self) -> float:
+        return self._phase("write_times")[1]
+
+    @property
+    def io_phase_bandwidth(self) -> float:
+        """Bandwidth over summed I/O-operation time (excludes compute
+        phases between operations; slowest rank governs)."""
+        total = sum(s.bytes_written + s.bytes_read for s in self.per_rank)
+        worst = max((s.io_seconds for s in self.per_rank), default=0.0)
+        return total / worst if worst > 0 else 0.0
+
+    def sync_time(self, stat: str = "max") -> float:
+        return self.breakdown.get("sync", {}).get(stat, 0.0)
+
+    def category_share(self, category: str) -> float:
+        """Fraction of the summed accounted time in one category."""
+        total = sum(v["sum"] for v in self.breakdown.values())
+        if total <= 0:
+            return 0.0
+        return self.breakdown.get(category, {}).get("sum", 0.0) / total
+
+
+Program = Callable[[Any, Any], Generator[Any, Any, WorkloadIOStats]]
+
+
+def run_experiment(config: ExperimentConfig, program: Program) -> RunResult:
+    """Run ``program(comm, io)`` on every rank of a fresh platform."""
+    world, fs, io = config.build()
+
+    def rank_main(comm):
+        stats = yield from program(comm, io)
+        if not isinstance(stats, WorkloadIOStats):
+            raise ConfigError(
+                "workload programs must return a WorkloadIOStats"
+            )
+        return stats
+
+    per_rank = world.launch(rank_main)
+    return RunResult(
+        config=config,
+        per_rank=per_rank,
+        breakdown=summarize(world.breakdowns),
+        events=world.engine.effects_dispatched,
+        messages=world.network.messages_sent,
+        elapsed_total=world.engine.now,
+    )

@@ -1,0 +1,109 @@
+"""Parameter sweeps: run an experiment grid and find optima.
+
+A :class:`Sweep` maps one axis (group count, process count, stripe size,
+any hint) over a workload factory, memoizing results so that optimum
+searches and multi-figure reports reuse runs.  The paper's "empirically
+evaluate the impact of the group size" methodology (Section 4) is exactly
+this object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from repro.harness.report import format_table, mb_per_s
+from repro.harness.runner import ExperimentConfig, Program, RunResult, run_experiment
+
+
+@dataclass
+class SweepPoint:
+    """One evaluated point of a sweep."""
+
+    value: Any
+    result: RunResult
+
+    @property
+    def write_mb_s(self) -> float:
+        return mb_per_s(self.result.write_bandwidth)
+
+
+@dataclass
+class Sweep:
+    """A one-axis experiment sweep.
+
+    ``make`` maps an axis value to ``(ExperimentConfig, program)``; points
+    are evaluated lazily and cached by value.
+    """
+
+    name: str
+    make: Callable[[Any], tuple[ExperimentConfig, Program]]
+    _cache: dict[Any, SweepPoint] = field(default_factory=dict)
+
+    def at(self, value: Any) -> SweepPoint:
+        point = self._cache.get(value)
+        if point is None:
+            cfg, program = self.make(value)
+            point = SweepPoint(value, run_experiment(cfg, program))
+            self._cache[value] = point
+        return point
+
+    def run(self, values: Iterable[Any]) -> list[SweepPoint]:
+        return [self.at(v) for v in values]
+
+    def best(self, values: Iterable[Any],
+             key: Optional[Callable[[SweepPoint], float]] = None
+             ) -> SweepPoint:
+        """The point maximizing ``key`` (default: write bandwidth)."""
+        key = key or (lambda pt: pt.write_mb_s)
+        points = self.run(values)
+        return max(points, key=key)
+
+    def golden_section_max(self, lo: int, hi: int,
+                           key: Optional[Callable[[SweepPoint], float]] = None,
+                           max_evals: int = 12) -> SweepPoint:
+        """Find an interior optimum over integer powers of two in [lo, hi].
+
+        Group-count curves are unimodal in practice (aggregation quality
+        falls monotonically, sync cost rises monotonically), so a ternary
+        search over the power-of-two ladder converges in a handful of
+        runs — the adaptive alternative to a full sweep.
+        """
+        key = key or (lambda pt: pt.write_mb_s)
+        ladder = []
+        v = max(1, lo)
+        while v <= hi:
+            ladder.append(v)
+            v *= 2
+        if not ladder:
+            raise ValueError(f"empty search range [{lo}, {hi}]")
+        a, b = 0, len(ladder) - 1
+        evals = 0
+        while b - a > 2 and evals < max_evals:
+            m1 = a + (b - a) // 3
+            m2 = b - (b - a) // 3
+            if m1 == m2:
+                break
+            f1 = key(self.at(ladder[m1]))
+            f2 = key(self.at(ladder[m2]))
+            evals += 2
+            if f1 < f2:
+                a = m1 + 1
+            else:
+                b = m2 - 1 if m2 > m1 + 1 else m2
+        return self.best(ladder[a:b + 1], key=key)
+
+    def table(self, values: Iterable[Any],
+              columns: Optional[dict[str, Callable[[SweepPoint], Any]]] = None
+              ) -> str:
+        """Render the sweep as a report table."""
+        columns = columns or {
+            "write MB/s": lambda pt: round(pt.write_mb_s),
+            "sync max (s)": lambda pt: round(
+                pt.result.breakdown.get("sync", {}).get("max", 0.0), 4),
+            "sync %": lambda pt: round(
+                100 * pt.result.category_share("sync"), 1),
+        }
+        rows = [[pt.value] + [fn(pt) for fn in columns.values()]
+                for pt in self.run(values)]
+        return format_table([self.name] + list(columns), rows)

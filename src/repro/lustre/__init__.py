@@ -1,0 +1,37 @@
+"""Simulated Lustre: striped object storage with contention and locks.
+
+Models the parts of Lustre that shape collective-I/O performance on the
+Cray XT:
+
+* **striping** — a file is round-robin striped over ``stripe_count`` OSTs
+  in ``stripe_size`` chunks (the paper uses 64 targets × 4 MB);
+* **OST service queues** — each OST serves requests FIFO at a fixed
+  bandwidth with per-RPC overhead and optional deterministic jitter, so
+  many clients hitting one OST serialize and create the per-round skew
+  that global synchronization then amplifies;
+* **extent locks** — an OST object is protected by a client-granted lock;
+  a different client touching the same object pays a revocation penalty.
+  Interleaved fine-grained writes from many clients ping-pong locks
+  (why Flash I/O without collective buffering collapses to ~60 MB/s),
+  while aggregated, OST-aligned file domains keep locks stable;
+* **MDS** — opens/creates serialize through a metadata server.
+
+Data is real: verified runs store bytes (NumPy) and tests assert byte
+equality; model runs track written extents only.
+"""
+
+from repro.lustre.fs import LustreFS, LustreParams
+from repro.lustre.layout import StripeLayout
+from repro.lustre.locks import LockManager
+from repro.lustre.presets import preset
+from repro.lustre.store import ByteStore, ExtentTracker
+
+__all__ = [
+    "LustreFS",
+    "LustreParams",
+    "StripeLayout",
+    "LockManager",
+    "preset",
+    "ByteStore",
+    "ExtentTracker",
+]

@@ -1,0 +1,72 @@
+"""File-system presets: the paper's Section-6 cross-platform study.
+
+The paper's future work proposes examining the collective wall "over
+other massively parallel platforms with different underlying file
+systems, such as GPFS and PVFS".  The simulated object store is
+parameterized enough to approximate their contention characters:
+
+* **lustre_xt** — the paper's testbed: 72 OSTs, 64-way 4 MB striping,
+  client extent locks with grant/revocation costs (DLM), server
+  write-back absorbing write seeks;
+* **pvfs_like** — PVFS2: no client locking at all (the application is
+  responsible for consistency), smaller stripe (64 KB default), lighter
+  per-request server path — fine-grained interleaved writes do not
+  thrash locks, but small requests still pay per-RPC costs;
+* **gpfs_like** — GPFS: distributed byte-range tokens (cheaper grants,
+  comparably expensive steals), large blocks (4 MB), strong per-block
+  affinity.
+
+These are *approximations by mechanism*, not calibrated models of real
+deployments; the cross-FS benchmark compares how the same protocols
+behave as the locking/striping character changes.
+"""
+
+from __future__ import annotations
+
+from repro.lustre.fs import LustreParams
+
+PRESET_NAMES = ("lustre_xt", "pvfs_like", "gpfs_like")
+
+
+def preset(name: str, **overrides) -> LustreParams:
+    """Build a :class:`LustreParams` for a named file-system character."""
+    if name == "lustre_xt":
+        base = dict(
+            n_osts=72,
+            ost_bandwidth=400e6,
+            default_stripe_count=64,
+            default_stripe_size=4 << 20,
+            lock_grant_cost=0.2e-3,
+            lock_revoke_cost=2.0e-3,
+        )
+    elif name == "pvfs_like":
+        base = dict(
+            n_osts=64,
+            ost_bandwidth=350e6,
+            default_stripe_count=64,
+            default_stripe_size=64 << 10,
+            # no client locks: consistency is the application's problem
+            lock_grant_cost=0.0,
+            lock_revoke_cost=0.0,
+            # no server write-back either: seeks hit writes and reads
+            ost_seek_cost=0.8e-3,
+            seek_on_writes=True,
+            ost_rpc_overhead=0.3e-3,
+        )
+    elif name == "gpfs_like":
+        base = dict(
+            n_osts=64,
+            ost_bandwidth=450e6,
+            default_stripe_count=64,
+            default_stripe_size=4 << 20,
+            # byte-range tokens: cheap to acquire, costly to steal
+            lock_grant_cost=0.05e-3,
+            lock_revoke_cost=3.0e-3,
+            ost_rpc_overhead=0.3e-3,
+        )
+    else:
+        raise ValueError(
+            f"unknown file-system preset {name!r}; available: {PRESET_NAMES}"
+        )
+    base.update(overrides)
+    return LustreParams(**base)

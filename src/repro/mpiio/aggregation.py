@@ -1,0 +1,86 @@
+"""I/O aggregator selection and file-domain partitioning (ROMIO analogs).
+
+Default aggregator choice follows ROMIO on clusters: one process per
+physical node, in node order, optionally capped by the ``cb_nodes`` hint
+or replaced outright by an explicit ``cb_config_ranks`` list.
+
+File domains: the accessed byte range ``[fd_min, fd_max)`` is divided into
+one contiguous domain per aggregator — evenly, or snapped to stripe
+boundaries when ``align_file_domains`` is set (avoids two aggregators
+sharing an OST object and ping-ponging its lock).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.machine import Machine
+from repro.errors import MPIIOError
+from repro.lustre.layout import StripeLayout
+from repro.mpiio.hints import IOHints
+
+
+def default_aggregators(member_world_ranks: list[int], machine: Machine,
+                        hints: IOHints) -> list[int]:
+    """Aggregators as *communicator ranks*, lowest rank per node first.
+
+    With ``cb_config_ranks`` the user's list is validated and used as-is.
+    Otherwise one process per node is chosen (node order), then the list
+    is truncated to ``cb_nodes`` if given.
+    """
+    size = len(member_world_ranks)
+    if hints.cb_config_ranks is not None:
+        for r in hints.cb_config_ranks:
+            if not 0 <= r < size:
+                raise MPIIOError(
+                    f"cb_config_ranks entry {r} out of range for size {size}"
+                )
+        return list(hints.cb_config_ranks)
+    seen_nodes: dict[int, int] = {}
+    for grank, wrank in enumerate(member_world_ranks):
+        node = machine.node_of_rank(wrank)
+        if node not in seen_nodes:
+            seen_nodes[node] = grank
+    aggs = [seen_nodes[n] for n in sorted(seen_nodes)]
+    if hints.cb_nodes is not None:
+        aggs = aggs[: hints.cb_nodes]
+    return aggs
+
+
+def partition_file_domains(fd_min: int, fd_max: int, naggs: int,
+                           align: StripeLayout | None = None
+                           ) -> tuple[np.ndarray, np.ndarray]:
+    """Split ``[fd_min, fd_max)`` into ``naggs`` contiguous domains.
+
+    Returns ``(starts, ends)`` arrays of length ``naggs`` (empty domains
+    allowed: start == end).  With ``align`` given, interior boundaries snap
+    to the nearest stripe boundary.
+    """
+    if naggs <= 0:
+        raise MPIIOError(f"need at least one aggregator, got {naggs}")
+    if fd_max < fd_min:
+        raise MPIIOError(f"invalid file range [{fd_min}, {fd_max})")
+    span = fd_max - fd_min
+    base = span // naggs
+    rem = span % naggs
+    sizes = np.full(naggs, base, dtype=np.int64)
+    sizes[:rem] += 1
+    bounds = np.empty(naggs + 1, dtype=np.int64)
+    bounds[0] = fd_min
+    np.cumsum(sizes, out=bounds[1:])
+    bounds[1:] += fd_min
+    if align is not None and span > 0:
+        S = align.stripe_size
+        snapped = ((bounds[1:-1] + S // 2) // S) * S
+        bounds[1:-1] = np.clip(snapped, fd_min, fd_max)
+        bounds = np.maximum.accumulate(bounds)  # keep monotone
+    return bounds[:-1].copy(), bounds[1:].copy()
+
+
+def domain_of_offsets(offsets: np.ndarray, starts: np.ndarray,
+                      ends: np.ndarray) -> np.ndarray:
+    """Index of the domain containing each offset (domains sorted, disjoint)."""
+    # searchsorted over domain starts; offsets below the first start or in
+    # an empty domain's gap map to the previous non-empty domain
+    idx = np.searchsorted(ends, offsets, side="right")
+    return np.clip(idx, 0, starts.size - 1)

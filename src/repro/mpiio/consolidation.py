@@ -1,0 +1,124 @@
+"""Node-level request consolidation (the paper's Section 6 future work).
+
+The paper closes by proposing to "consolidate I/O requests from different
+cores to maximize the utilization of in-core bandwidth".  This module
+implements that extension for the two-phase write path: per exchange
+round, the cores of one node first funnel their window pieces to a node
+*leader* (the lowest communicator rank on the node — intra-node traffic
+is a memcpy on Catamount), the leader merges adjacent pieces, and only
+leaders talk to the I/O aggregators.
+
+Effects the simulation captures: inter-node message count drops by the
+cores-per-node factor, aggregator incast shrinks, and pieces from
+neighbouring cores coalesce before they travel.  The cost is an extra
+intra-node hop and serialization through the leader.  Enabled by the
+``cb_node_consolidation`` hint; quantified in
+``benchmarks/bench_ablation_node_consolidation.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.datatypes.flatten import Segments
+from repro.simmpi.payload import Payload
+
+#: tag base for intra-node consolidation traffic
+NODE_TAG = (1 << 20) + 20_000_000
+
+#: modeled wire bytes per (offset, length) pair
+_SEG_HEADER = 16
+
+
+def node_groups(comm, machine) -> tuple[int, list[int]]:
+    """This rank's (leader, node members) in communicator ranks.
+
+    The leader is the lowest communicator rank on the physical node —
+    which is also what the default aggregator selection picks, so
+    aggregators are usually leaders and pay no extra hop.
+    """
+    my_node = machine.node_of_rank(comm.desc.members[comm.rank])
+    members = [r for r in range(comm.size)
+               if machine.node_of_rank(comm.desc.members[r]) == my_node]
+    return members[0], members
+
+
+def consolidated_write_round(env, aggs: list[int], my_idx: int, rnd: int,
+                             pieces_by_agg: dict[int, tuple[Segments,
+                                                            Optional[np.ndarray]]],
+                             leader: int, members: list[int],
+                             memcpy_bw: float,
+                             aggregate_and_write,
+                             counts_vector) -> Generator[Any, Any, None]:
+    """One write round with node consolidation.
+
+    ``pieces_by_agg`` holds this rank's (already translated) window
+    pieces.  Non-leaders ship everything to the leader and only join the
+    count exchange with zeros; leaders merge per aggregator and forward.
+    """
+    from repro.mpiio.two_phase import TP_TAG, merge_pieces
+
+    comm = env.comm
+    verified = env.lfile.store is not None
+    if comm.rank != leader:
+        nbytes = sum(int(sub[1].sum()) + _SEG_HEADER * sub[0].size
+                     for (sub, _d) in pieces_by_agg.values())
+        up_req = comm.isend(Payload(nbytes, pieces_by_agg), dest=leader,
+                            tag=NODE_TAG + rnd)
+        counts = np.zeros(comm.size, dtype=np.int64)
+        all_counts = yield from comm.alltoall(counts, nbytes_each=8,
+                                              category="sync")
+        if my_idx >= 0:
+            yield from aggregate_and_write(env, all_counts, None, rnd,
+                                           memcpy_bw)
+        yield from comm.waitall([up_req], category="exchange")
+        return
+
+    # leader: gather the node's pieces (every member sends every round)
+    collected: list[dict] = [pieces_by_agg]
+    for m in members:
+        if m == comm.rank:
+            continue
+        payload = yield from comm.recv(source=m, tag=NODE_TAG + rnd,
+                                       category="exchange")
+        collected.append(payload.data)
+    merged: dict[int, tuple[Segments, Optional[np.ndarray]]] = {}
+    all_for: dict[int, list] = {}
+    for d in collected:
+        for a, piece in d.items():
+            all_for.setdefault(a, []).append(piece)
+    merge_bytes = 0
+    for a, pieces in all_for.items():
+        if len(pieces) == 1:
+            merged[a] = pieces[0]
+        else:
+            merged[a] = merge_pieces(pieces, verified)
+        merge_bytes += int(merged[a][0][1].sum())
+    if merge_bytes:
+        # assembling the node buffer is a memcpy
+        from repro.sim.effects import Sleep
+
+        copy_t = merge_bytes / memcpy_bw
+        yield Sleep(copy_t)
+        env.breakdown.add("compute", copy_t)
+
+    send_lists = {a: seg for a, (seg, _d) in merged.items()}
+    counts = counts_vector(send_lists, aggs, comm.size)
+    all_counts = yield from comm.alltoall(counts, nbytes_each=8,
+                                          category="sync")
+    reqs = []
+    local_piece = None
+    for a, (sub, mdata) in merged.items():
+        nbytes = int(sub[1].sum()) + _SEG_HEADER * sub[0].size
+        if aggs[a] == comm.rank:
+            local_piece = (sub, mdata)
+            continue
+        reqs.append(comm.isend(Payload(nbytes, (sub[0], sub[1], mdata)),
+                               dest=aggs[a], tag=TP_TAG + rnd))
+    if my_idx >= 0:
+        yield from aggregate_and_write(env, all_counts, local_piece, rnd,
+                                       memcpy_bw)
+    if reqs:
+        yield from comm.waitall(reqs, category="exchange")

@@ -1,0 +1,253 @@
+"""MPI-IO file objects: open/view/read/write/close.
+
+``MPIIO`` is the per-simulation library instance (binds the world to a
+file system); ``MPIFile`` is one rank's handle on an open file.  Explicit
+offsets are in *etype units* (MPI semantics); data buffers are dense
+``uint8`` arrays matching the view's data order, or ``None`` with an
+explicit ``nbytes`` in model mode.
+
+``*_all`` operations dispatch on the ``protocol`` hint:
+
+* ``ext2ph`` — the extended two-phase engine over the whole communicator
+  (the paper's baseline);
+* ``parcoll`` — partitioned collective I/O (:mod:`repro.parcoll`);
+* ``independent`` — every rank writes directly (no aggregation), the
+  paper's "w/o Coll" configuration.
+
+On close, every rank's per-category times since open are gathered to rank
+0 — the run summary the paper's profiling reports at file close.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.datatypes.base import BYTE, Datatype
+from repro.errors import MPIIOError
+from repro.lustre.fs import LustreFS
+from repro.mpiio.fileview import FileView
+from repro.mpiio.hints import IOHints
+from repro.mpiio.independent import independent_read, independent_write
+from repro.mpiio.two_phase import IOEnv, collective_read, collective_write
+from repro.simmpi.world import Communicator, World
+
+
+class _SharedFile:
+    """State shared by all ranks holding one (communicator, file) pair."""
+
+    __slots__ = ("lfile", "parcoll_cache")
+
+    def __init__(self, lfile):
+        self.lfile = lfile
+        #: ParColl subgroup communicators cached across calls
+        self.parcoll_cache: dict = {}
+
+
+class MPIIO:
+    """The MPI-IO library instance for one simulated world."""
+
+    def __init__(self, world: World, fs: LustreFS):
+        self.world = world
+        self.fs = fs
+        self._shared: dict[tuple, _SharedFile] = {}
+
+    def open(self, comm: Communicator, name: str,
+             hints: Optional[IOHints | dict] = None,
+             stripe_count: Optional[int] = None,
+             stripe_size: Optional[int] = None
+             ) -> Generator[Any, Any, "MPIFile"]:
+        """Collective open: every rank of ``comm`` must call."""
+        if isinstance(hints, dict):
+            hints = IOHints.from_dict(hints)
+        hints = hints or IOHints()
+        t0 = comm.now
+        lfile = yield from self.fs.open(name, create=True,
+                                        stripe_count=stripe_count,
+                                        stripe_size=stripe_size)
+        comm.proc.breakdown.add("meta", comm.now - t0)
+        key = (comm.desc.ctx, name)
+        shared = self._shared.get(key)
+        if shared is None:
+            shared = _SharedFile(lfile)
+            self._shared[key] = shared
+        return MPIFile(self, comm, shared, hints)
+
+
+class MPIFile:
+    """One rank's handle on an open file."""
+
+    def __init__(self, io: MPIIO, comm: Communicator, shared: _SharedFile,
+                 hints: IOHints):
+        self.io = io
+        self.comm = comm
+        self.shared = shared
+        self.hints = hints
+        self.view = FileView(0, BYTE, BYTE)
+        self._fp = 0  # individual file pointer, in etype units
+        self._open_snapshot = comm.proc.breakdown.snapshot()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def lfile(self):
+        return self.shared.lfile
+
+    def _env(self) -> IOEnv:
+        return IOEnv(comm=self.comm, machine=self.io.world.machine,
+                     fs=self.io.fs, lfile=self.lfile, hints=self.hints)
+
+    def set_view(self, disp: int = 0, etype: Datatype = BYTE,
+                 filetype: Optional[Datatype] = None) -> None:
+        """Install a new file view; resets the individual file pointer."""
+        self._check_open()
+        self.view = FileView(disp, etype, filetype)
+        self._fp = 0
+
+    def set_hints(self, **kwargs: Any) -> None:
+        """Adjust hints on an open file (e.g. switch protocol per phase)."""
+        self.hints = self.hints.with_(**kwargs)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise MPIIOError("operation on a closed file")
+
+    def _access(self, offset_et: int, nbytes: int):
+        if offset_et < 0 or nbytes < 0:
+            raise MPIIOError(f"invalid access (offset {offset_et}, {nbytes}B)")
+        es = self.view.etype.size
+        lo = offset_et * es
+        return self.view.segments_for(lo, lo + nbytes)
+
+    @staticmethod
+    def _data_nbytes(data: Optional[np.ndarray], nbytes: Optional[int]) -> int:
+        if data is not None:
+            arr = np.asarray(data)
+            return int(arr.size * arr.itemsize)
+        if nbytes is None:
+            raise MPIIOError("model-mode access needs an explicit nbytes")
+        return int(nbytes)
+
+    @staticmethod
+    def _as_bytes(data: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        if data is None:
+            return None
+        arr = np.asarray(data)
+        return np.frombuffer(arr.tobytes(), dtype=np.uint8) if arr.dtype != np.uint8 \
+            else arr.ravel()
+
+    # ------------------------------------------------------------------
+    # collective operations (every rank of the communicator must call)
+    # ------------------------------------------------------------------
+    def write_at_all(self, offset_et: int, data: Optional[np.ndarray] = None,
+                     nbytes: Optional[int] = None
+                     ) -> Generator[Any, Any, int]:
+        """Collective write at an explicit offset (etype units)."""
+        self._check_open()
+        n = self._data_nbytes(data, nbytes)
+        segs = self._access(offset_et, n)
+        payload = self._as_bytes(data)
+        env = self._env()
+        if self.hints.protocol == "independent":
+            return (yield from independent_write(env, segs, payload))
+        if self.hints.protocol == "parcoll":
+            from repro.parcoll.driver import parcoll_write
+
+            return (yield from parcoll_write(env, segs, payload,
+                                             self.shared.parcoll_cache,
+                                             self.view))
+        return (yield from collective_write(env, segs, payload))
+
+    def read_at_all(self, offset_et: int, nbytes: int
+                    ) -> Generator[Any, Any, Optional[np.ndarray]]:
+        """Collective read at an explicit offset (etype units)."""
+        self._check_open()
+        segs = self._access(offset_et, nbytes)
+        env = self._env()
+        if self.hints.protocol == "independent":
+            return (yield from independent_read(env, segs))
+        if self.hints.protocol == "parcoll":
+            from repro.parcoll.driver import parcoll_read
+
+            return (yield from parcoll_read(env, segs,
+                                            self.shared.parcoll_cache,
+                                            self.view))
+        return (yield from collective_read(env, segs))
+
+    def write_all(self, data: Optional[np.ndarray] = None,
+                  nbytes: Optional[int] = None) -> Generator[Any, Any, int]:
+        """Collective write at the individual file pointer."""
+        n = self._data_nbytes(data, nbytes)
+        es = self.view.etype.size
+        if n % es:
+            raise MPIIOError(f"access of {n}B is not a multiple of etype ({es}B)")
+        written = yield from self.write_at_all(self._fp, data, nbytes)
+        self._fp += n // es
+        return written
+
+    def read_all(self, nbytes: int) -> Generator[Any, Any, Optional[np.ndarray]]:
+        """Collective read at the individual file pointer."""
+        es = self.view.etype.size
+        if nbytes % es:
+            raise MPIIOError(f"access of {nbytes}B is not a multiple of etype")
+        out = yield from self.read_at_all(self._fp, nbytes)
+        self._fp += nbytes // es
+        return out
+
+    # ------------------------------------------------------------------
+    # independent operations
+    # ------------------------------------------------------------------
+    def write_at(self, offset_et: int, data: Optional[np.ndarray] = None,
+                 nbytes: Optional[int] = None, data_sieving: bool = False
+                 ) -> Generator[Any, Any, int]:
+        """Independent write at an explicit offset (etype units).
+
+        ``data_sieving`` enables the read-modify-write sieve path for
+        fragmented accesses (MPI-IO default nonatomic semantics: sieved
+        windows of concurrently-writing processes must not overlap).
+        """
+        self._check_open()
+        n = self._data_nbytes(data, nbytes)
+        segs = self._access(offset_et, n)
+        if data_sieving:
+            from repro.mpiio.data_sieving import sieved_write
+
+            return (yield from sieved_write(self._env(), segs,
+                                            self._as_bytes(data)))
+        return (yield from independent_write(self._env(), segs,
+                                             self._as_bytes(data)))
+
+    def read_at(self, offset_et: int, nbytes: int, data_sieving: bool = False
+                ) -> Generator[Any, Any, Optional[np.ndarray]]:
+        """Independent read at an explicit offset (etype units)."""
+        self._check_open()
+        segs = self._access(offset_et, nbytes)
+        return (yield from independent_read(self._env(), segs,
+                                            data_sieving=data_sieving))
+
+    # ------------------------------------------------------------------
+    def close(self) -> Generator[Any, Any, Optional[dict]]:
+        """Collective close; rank 0 gets the per-category time summary."""
+        self._check_open()
+        comm = self.comm
+        yield from comm.barrier(category="sync")
+        t0 = comm.now
+        yield from self.io.fs.mds.service(0)
+        comm.proc.breakdown.add("meta", comm.now - t0)
+        delta = {
+            cat: t - self._open_snapshot.get(cat, 0.0)
+            for cat, t in comm.proc.breakdown.snapshot().items()
+        }
+        all_deltas = yield from comm.gather(delta, root=0, category="sync")
+        self._closed = True
+        if comm.rank != 0:
+            return None
+        cats = sorted({c for d in all_deltas for c in d})
+        return {
+            c: {
+                "max": max(d.get(c, 0.0) for d in all_deltas),
+                "mean": sum(d.get(c, 0.0) for d in all_deltas) / len(all_deltas),
+            }
+            for c in cats
+        }

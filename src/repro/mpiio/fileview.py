@@ -1,0 +1,145 @@
+"""File views: displacement + etype + filetype, tiled across the file.
+
+A view defines a *linear data space* (the bytes a process can see, in
+order) over a *physical file space*.  ``segments_for(lo, hi)`` maps any
+byte range of the data space to physical file segments; the math tiles
+the filetype's flattened form without materializing repeats, so views
+spanning gigabytes stay O(segments-per-tile) in memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatypes.base import BYTE, Datatype
+from repro.datatypes.flatten import Segments, coalesce
+from repro.errors import MPIIOError
+
+
+class FileView:
+    """An MPI-IO file view for one process."""
+
+    __slots__ = ("disp", "etype", "filetype", "_offs", "_lens", "_prefix",
+                 "_dense")
+
+    def __init__(self, disp: int = 0, etype: Datatype = BYTE,
+                 filetype: Datatype | None = None):
+        if disp < 0:
+            raise MPIIOError(f"view displacement must be >= 0, got {disp}")
+        filetype = etype if filetype is None else filetype
+        if etype.size <= 0:
+            raise MPIIOError("etype must have positive size")
+        if filetype.size % etype.size != 0:
+            raise MPIIOError(
+                f"filetype size {filetype.size} is not a multiple of "
+                f"etype size {etype.size}"
+            )
+        if filetype.size == 0:
+            raise MPIIOError("filetype must contain data")
+        self.disp = int(disp)
+        self.etype = etype
+        self.filetype = filetype
+        offs, lens = filetype.segments()
+        self._offs = offs
+        self._lens = lens
+        # prefix[i] = data bytes before segment i within one tile
+        self._prefix = np.zeros(offs.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=self._prefix[1:])
+        #: dense filetypes (size == extent, one run) map data linearly
+        self._dense = (offs.size == 1 and int(offs[0]) == 0
+                       and filetype.size == filetype.extent)
+
+    @property
+    def tile_data_bytes(self) -> int:
+        """Data bytes per filetype instance."""
+        return self.filetype.size
+
+    @property
+    def tile_extent(self) -> int:
+        """File bytes spanned per filetype instance."""
+        return self.filetype.extent
+
+    @property
+    def is_contiguous(self) -> bool:
+        return self.filetype.is_contiguous and self.disp == 0
+
+    # ------------------------------------------------------------------
+    # data-space <-> file-space mapping
+    # ------------------------------------------------------------------
+    def segments_for(self, lo: int, hi: int) -> Segments:
+        """Physical segments of data-space bytes [lo, hi).
+
+        Vectorized over whole tiles; the partial head and tail tiles are
+        clipped by cutting the flattened per-tile arrays at the right data
+        positions.
+        """
+        if lo < 0 or hi < lo:
+            raise MPIIOError(f"invalid data range [{lo}, {hi})")
+        if hi == lo:
+            return (np.empty(0, np.int64), np.empty(0, np.int64))
+        if self._dense:
+            # dense filetype: data space maps linearly onto the file —
+            # never enumerate tiles (an identity BYTE view would otherwise
+            # build one entry per byte)
+            return (np.array([self.disp + lo], dtype=np.int64),
+                    np.array([hi - lo], dtype=np.int64))
+        s = self.tile_data_bytes
+        e = self.tile_extent
+        first_tile = lo // s
+        last_tile = (hi - 1) // s
+        parts_o: list[np.ndarray] = []
+        parts_l: list[np.ndarray] = []
+        # head / tail partial tiles, plus the dense run of full tiles
+        full_start, full_stop = first_tile, last_tile + 1
+        if lo % s != 0 or (first_tile == last_tile and hi % s != 0):
+            o, l = self._clip_tile(lo - first_tile * s,
+                                   min(hi - first_tile * s, s))
+            parts_o.append(o + first_tile * e)
+            parts_l.append(l)
+            full_start = first_tile + 1
+        if last_tile >= full_start and hi % s != 0:
+            o, l = self._clip_tile(0, hi - last_tile * s)
+            parts_o.append(o + last_tile * e)
+            parts_l.append(l)
+            full_stop = last_tile
+        if full_start < full_stop:
+            ntiles = full_stop - full_start
+            bases = (np.arange(full_start, full_stop, dtype=np.int64) * e)
+            offs = (bases[:, None] + self._offs[None, :]).ravel()
+            lens = np.broadcast_to(self._lens,
+                                   (ntiles, self._lens.size)).ravel()
+            parts_o.append(offs)
+            parts_l.append(lens)
+        offs = np.concatenate(parts_o) + self.disp
+        lens = np.concatenate(parts_l)
+        return coalesce(offs, lens)
+
+    def _clip_tile(self, dlo: int, dhi: int) -> Segments:
+        """Segments of data bytes [dlo, dhi) within ONE tile (tile-relative)."""
+        prefix = self._prefix
+        i0 = int(np.searchsorted(prefix, dlo, side="right") - 1)
+        i1 = int(np.searchsorted(prefix, dhi, side="left"))
+        offs = self._offs[i0:i1].copy()
+        lens = self._lens[i0:i1].copy()
+        if offs.size == 0:
+            return offs, lens
+        # trim the first and last segment to the data positions
+        head_skip = dlo - int(prefix[i0])
+        offs[0] += head_skip
+        lens[0] -= head_skip
+        tail_cut = int(prefix[min(i1, prefix.size - 1)]) - dhi
+        if tail_cut > 0:
+            lens[-1] -= tail_cut
+        keep = lens > 0
+        return offs[keep], lens[keep]
+
+    def data_extent(self, lo: int, hi: int) -> tuple[int, int]:
+        """Physical (start, end) bounds of data-space bytes [lo, hi)."""
+        offs, lens = self.segments_for(lo, hi)
+        if offs.size == 0:
+            return (self.disp, self.disp)
+        return int(offs[0]), int(offs[-1] + lens[-1])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"FileView(disp={self.disp}, etype={self.etype!r}, "
+                f"filetype={self.filetype!r})")

@@ -1,0 +1,104 @@
+"""MPI Info hints controlling collective I/O.
+
+Mirrors the ROMIO hint names where one exists; ParColl's controls follow
+the paper's Section 4.2: the user may give either the number of
+aggregators to draw from the default list (``cb_nodes``) or an explicit
+list of aggregator ranks (``cb_config_ranks``), and ParColl adds the
+subgroup count (``parcoll_ngroups``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional
+
+from repro.errors import MPIIOError
+
+VALID_PROTOCOLS = ("ext2ph", "parcoll", "independent")
+
+
+@dataclass(frozen=True)
+class IOHints:
+    """Validated hint set for one open file."""
+
+    #: collective buffer bytes per aggregator per round (ROMIO cb_buffer_size)
+    cb_buffer_size: int = 4 << 20
+    #: number of I/O aggregators from the default list; None = one per node
+    cb_nodes: Optional[int] = None
+    #: explicit aggregator ranks (communicator ranks); overrides cb_nodes
+    cb_config_ranks: Optional[tuple[int, ...]] = None
+    #: collective protocol used by *_all operations
+    protocol: str = "ext2ph"
+    #: ParColl: number of subgroups (file areas); 1 degenerates to ext2ph
+    parcoll_ngroups: int = 1
+    #: ParColl: allow switching to an intermediate file view (pattern (c))
+    parcoll_intermediate_views: bool = True
+    #: ParColl: data path under an intermediate view.  'physical'
+    #: (default, the paper's design) groups processes by logical offsets
+    #: but runs each subgroup's two-phase exchange over the original
+    #: physical segments, so windows stay dense and writes coalesce;
+    #: 'logical' runs the exchange in logical space and translates each
+    #: shipped piece back to physical segments (simpler, but every
+    #: aggregator write is scattered) — kept as an ablation.
+    parcoll_data_path: str = "physical"
+    #: ParColl: 'once' plans the grouping on the first collective call and
+    #: reuses it (the paper partitions at file-view initiation; subsequent
+    #: calls coordinate only within subgroups, letting groups drift apart);
+    #: 'always' re-plans globally every call (fully general, but keeps one
+    #: global collective per call)
+    parcoll_replan: str = "once"
+    #: align file-domain boundaries to stripe boundaries
+    align_file_domains: bool = False
+    #: consolidate per-core pieces through a node leader before the
+    #: inter-node exchange (the paper's Section 6 multi-core future work)
+    cb_node_consolidation: bool = False
+    #: overlap the aggregator's file write of round r with round r+1's
+    #: exchange (the split-phase collective I/O of the paper's related
+    #: work [13], realized with background tasks instead of threads —
+    #: Catamount has none, which is why the paper could not use it)
+    pipelined_io: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cb_buffer_size <= 0:
+            raise MPIIOError("cb_buffer_size must be positive")
+        if self.cb_nodes is not None and self.cb_nodes <= 0:
+            raise MPIIOError("cb_nodes must be positive")
+        if self.protocol not in VALID_PROTOCOLS:
+            raise MPIIOError(
+                f"unknown protocol {self.protocol!r}; expected {VALID_PROTOCOLS}"
+            )
+        if self.parcoll_ngroups <= 0:
+            raise MPIIOError("parcoll_ngroups must be positive")
+        if self.parcoll_data_path not in ("physical", "logical"):
+            raise MPIIOError(
+                f"parcoll_data_path must be 'physical' or 'logical', "
+                f"got {self.parcoll_data_path!r}"
+            )
+        if self.parcoll_replan not in ("once", "always"):
+            raise MPIIOError(
+                f"parcoll_replan must be 'once' or 'always', "
+                f"got {self.parcoll_replan!r}"
+            )
+        if self.cb_config_ranks is not None:
+            if len(self.cb_config_ranks) == 0:
+                raise MPIIOError("cb_config_ranks must not be empty")
+            if len(set(self.cb_config_ranks)) != len(self.cb_config_ranks):
+                raise MPIIOError("cb_config_ranks contains duplicates")
+
+    @classmethod
+    def from_dict(cls, info: Mapping[str, Any]) -> "IOHints":
+        """Build from a plain ``{hint-name: value}`` mapping (MPI_Info analog)."""
+        known = {f.name for f in cls.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+        unknown = set(info) - known
+        if unknown:
+            raise MPIIOError(f"unknown hint(s): {sorted(unknown)}")
+        kwargs = dict(info)
+        if "cb_config_ranks" in kwargs and kwargs["cb_config_ranks"] is not None:
+            kwargs["cb_config_ranks"] = tuple(kwargs["cb_config_ranks"])
+        return cls(**kwargs)
+
+    def with_(self, **kwargs: Any) -> "IOHints":
+        """Copy with overrides (validated)."""
+        if "cb_config_ranks" in kwargs and kwargs["cb_config_ranks"] is not None:
+            kwargs["cb_config_ranks"] = tuple(kwargs["cb_config_ranks"])
+        return replace(self, **kwargs)

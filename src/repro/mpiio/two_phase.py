@@ -1,0 +1,442 @@
+"""The extended two-phase (ext2ph) collective I/O engine.
+
+Faithful to the ROMIO structure the paper dissects (Section 2.2):
+
+1. **file range gathering** — allgather each process's (start, end)
+   physical extent ('sync');
+2. **file domain partitioning** — the accessed range is split into one
+   contiguous file domain per I/O aggregator;
+3. **round agreement** — allreduce(MAX) of the per-aggregator round count
+   (domain bytes / ``cb_buffer_size``) ('sync');
+4. **interleaved rounds** — each round moves one collective-buffer window
+   per aggregator: an alltoall of per-aggregator byte counts ('sync'),
+   point-to-point data exchange ('exchange'), and the aggregator's file
+   read/write ('io').
+
+The per-round alltoall is the global synchronization whose cost grows
+with the process count — the *collective wall*.  ParColl reuses this very
+engine per subgroup, which is why shrinking the group shrinks the wall.
+
+Data moves for real in verified mode: writers slice their dense buffers,
+aggregators merge by file offset and write; readers get exact bytes back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.cluster.machine import Machine
+from repro.datatypes.flatten import Segments, coalesce, intersect_range
+from repro.errors import MPIIOError
+from repro.lustre.fs import LustreFS, LustreFile
+from repro.mpiio.aggregation import default_aggregators, partition_file_domains
+from repro.mpiio.hints import IOHints
+from repro.sim.effects import Join, Sleep, Spawn
+from repro.simmpi.payload import Payload
+from repro.simmpi.reduce_ops import MAX
+from repro.simmpi.world import Communicator
+
+#: tag base for two-phase data exchange (clear of workload tags)
+TP_TAG = 1 << 20
+#: tag base for read replies (distinct from request/data tags)
+REPLY_TAG = TP_TAG + 10_000_000
+
+#: modeled wire bytes per (offset, length) pair in a request list
+SEG_HEADER_BYTES = 16
+
+
+@dataclass
+class IOEnv:
+    """Everything one collective call needs besides the access itself."""
+
+    comm: Communicator
+    machine: Machine
+    fs: LustreFS
+    lfile: LustreFile
+    hints: IOHints
+
+    @property
+    def breakdown(self):
+        return self.comm.proc.breakdown
+
+
+def data_positions(offs: np.ndarray, prefix: np.ndarray,
+                   sub_offs: np.ndarray) -> np.ndarray:
+    """Dense-buffer positions of sub-segment starts within a segment list.
+
+    ``prefix[i]`` is the dense position of segment ``i``'s first byte;
+    every ``sub_offs`` entry must fall inside some segment.
+    """
+    idx = np.searchsorted(offs, sub_offs, side="right") - 1
+    return prefix[idx] + (sub_offs - offs[idx])
+
+
+def extract_data(segs: Segments, prefix: np.ndarray, data: np.ndarray,
+                 sub: Segments) -> np.ndarray:
+    """Slice the dense bytes of ``sub`` (a subset of ``segs``) out of ``data``."""
+    sub_offs, sub_lens = sub
+    if sub_offs.size == 0:
+        return np.empty(0, dtype=np.uint8)
+    starts = data_positions(segs[0], prefix, sub_offs)
+    pieces = [data[s:s + l] for s, l in zip(starts.tolist(), sub_lens.tolist())]
+    return np.concatenate(pieces)
+
+
+def place_data(segs: Segments, prefix: np.ndarray, out: np.ndarray,
+               sub: Segments, incoming: np.ndarray) -> None:
+    """Inverse of :func:`extract_data`: write ``incoming`` into ``out``."""
+    sub_offs, sub_lens = sub
+    if sub_offs.size == 0:
+        return
+    starts = data_positions(segs[0], prefix, sub_offs)
+    pos = 0
+    for s, l in zip(starts.tolist(), sub_lens.tolist()):
+        out[s:s + l] = incoming[pos:pos + l]
+        pos += l
+
+
+def _prefix_of(lens: np.ndarray) -> np.ndarray:
+    prefix = np.zeros(lens.size, dtype=np.int64)
+    if lens.size > 1:
+        np.cumsum(lens[:-1], out=prefix[1:])
+    return prefix
+
+
+def _setup(env: IOEnv, segs: Segments
+           ) -> Generator[Any, Any, Optional[tuple]]:
+    """Shared phases 1-3; returns (aggs, starts, ends, ntimes) or None."""
+    comm = env.comm
+    offs, lens = segs
+    lo = int(offs[0]) if offs.size else -1
+    hi = int(offs[-1] + lens[-1]) if offs.size else -1
+    extents = yield from comm.allgather((lo, hi), category="sync")
+    nonempty = [(l, h) for (l, h) in extents if l >= 0]
+    if not nonempty:
+        return None
+    fd_min = min(l for l, _ in nonempty)
+    fd_max = max(h for _, h in nonempty)
+    members = comm.desc.members
+    aggs = default_aggregators(members, env.machine, env.hints)
+    align = env.lfile.layout if env.hints.align_file_domains else None
+    starts, ends = partition_file_domains(fd_min, fd_max, len(aggs), align)
+    cb = env.hints.cb_buffer_size
+    my_idx = aggs.index(comm.rank) if comm.rank in aggs else -1
+    my_rounds = 0
+    if my_idx >= 0:
+        my_rounds = int(-(-(ends[my_idx] - starts[my_idx]) // cb))
+    ntimes = yield from comm.allreduce(my_rounds, op=MAX, nbytes=8,
+                                       category="sync")
+    return aggs, starts, ends, int(ntimes), my_idx
+
+
+def _send_lists_for_round(segs: Segments, aggs: list[int],
+                          starts: np.ndarray, ends: np.ndarray,
+                          rnd: int, cb: int) -> dict[int, Segments]:
+    """My non-empty intersections with each aggregator's round window.
+
+    Only the domains overlapping my overall extent are inspected — with
+    hundreds of aggregators a rank typically touches one or two, and
+    scanning all of them per round would cost O(P^2) across ranks.
+    """
+    offs, lens = segs
+    if offs.size == 0:
+        return {}
+    my_lo = int(offs[0])
+    my_hi = int(offs[-1] + lens[-1])
+    a_first = int(np.searchsorted(ends, my_lo, side="right"))
+    a_last = int(np.searchsorted(starts, my_hi, side="left"))
+    out: dict[int, Segments] = {}
+    for a in range(a_first, min(a_last, len(aggs))):
+        w_lo = int(starts[a]) + rnd * cb
+        w_hi = min(int(ends[a]), w_lo + cb)
+        sub = intersect_range(segs, w_lo, w_hi)
+        if sub[0].size:
+            out[a] = sub
+    return out
+
+
+def _counts_vector(send_lists: dict[int, Segments], aggs: list[int],
+                   size: int) -> np.ndarray:
+    counts = np.zeros(size, dtype=np.int64)
+    for a, (so, sl) in send_lists.items():
+        counts[aggs[a]] = int(sl.sum())
+    return counts
+
+
+def collective_write(env: IOEnv, segs: Segments,
+                     data: Optional[np.ndarray],
+                     translate=None) -> Generator[Any, Any, int]:
+    """ext2ph collective write of my ``segs`` (+dense ``data``); returns bytes.
+
+    ``translate(sub) -> Segments`` (optional) maps the sender's window
+    intersections to a different file space before they are shipped —
+    ParColl's intermediate file views run the protocol in *logical* space
+    and translate to physical segments at this boundary.  The translation
+    must preserve total bytes and data order.
+    """
+    comm = env.comm
+    setup = yield from _setup(env, segs)
+    if setup is None:
+        return 0
+    aggs, starts, ends, ntimes, my_idx = setup
+    cb = env.hints.cb_buffer_size
+    offs, lens = segs
+    prefix = _prefix_of(lens)
+    total = int(lens.sum())
+    if data is not None:
+        data = np.asarray(data, dtype=np.uint8).ravel()
+        if data.size != total:
+            raise MPIIOError(f"data has {data.size} bytes, view covers {total}")
+    model = data is None and env.lfile.store is None
+    if data is None and env.lfile.store is not None:
+        raise MPIIOError("verified-mode collective write requires data")
+
+    memcpy_bw = comm.world.network.params.memcpy_bandwidth
+    pending: list = []
+    node_info = None
+    if env.hints.cb_node_consolidation:
+        from repro.mpiio.consolidation import node_groups
+
+        node_info = node_groups(comm, env.machine)
+    for rnd in range(ntimes):
+        send_lists = _send_lists_for_round(segs, aggs, starts, ends, rnd, cb)
+        if node_info is not None:
+            from repro.mpiio.consolidation import consolidated_write_round
+
+            pieces_by_agg = {}
+            for a, sub in send_lists.items():
+                piece_data = (None if model
+                              else extract_data(segs, prefix, data, sub))
+                if translate is not None:
+                    sub = translate(sub)
+                pieces_by_agg[a] = (sub, piece_data)
+            leader, members = node_info
+            yield from consolidated_write_round(
+                env, aggs, my_idx, rnd, pieces_by_agg, leader, members,
+                memcpy_bw, _aggregate_and_write, _counts_vector)
+            continue
+        counts = _counts_vector(send_lists, aggs, comm.size)
+        all_counts = yield from comm.alltoall(counts, nbytes_each=8,
+                                              category="sync")
+        # dispatch my pieces (local piece short-circuits the network)
+        reqs = []
+        local_piece = None
+        for a, sub in send_lists.items():
+            piece_data = None if model else extract_data(segs, prefix, data, sub)
+            if translate is not None:
+                sub = translate(sub)
+            nbytes = int(sub[1].sum()) + SEG_HEADER_BYTES * sub[0].size
+            if aggs[a] == comm.rank:
+                local_piece = (sub, piece_data)
+                continue
+            payload = Payload(nbytes, (sub[0], sub[1], piece_data))
+            reqs.append(comm.isend(payload, dest=aggs[a], tag=TP_TAG + rnd))
+        if my_idx >= 0:
+            yield from _aggregate_and_write(env, all_counts, local_piece,
+                                            rnd, memcpy_bw, pending)
+        if reqs:
+            yield from comm.waitall(reqs, category="exchange")
+    if pending:
+        # split-phase: wait for the overlapped writes to drain
+        t0 = comm.now
+        for task in pending:
+            yield Join(task)
+        env.breakdown.add("io", comm.now - t0)
+    return total
+
+
+def merge_pieces(pieces: list[tuple[Segments, Optional[np.ndarray]]],
+                 verified: bool
+                 ) -> tuple[Segments, Optional[np.ndarray]]:
+    """Merge ``(segments, dense-data)`` pieces by file offset.
+
+    Returns coalesced segments plus the correspondingly reordered dense
+    bytes (None in model mode).  Raises on overlap — collective writers
+    must target disjoint regions.
+    """
+    all_offs = np.concatenate([p[0][0] for p in pieces])
+    all_lens = np.concatenate([p[0][1] for p in pieces])
+    order = np.argsort(all_offs, kind="stable")
+    sorted_offs = all_offs[order]
+    sorted_lens = all_lens[order]
+    merged_data = None
+    if verified:
+        chunks = []
+        bounds = np.cumsum([0] + [p[0][0].size for p in pieces])
+        datas = [p[1] for p in pieces]
+        piece_prefix = [_prefix_of(p[0][1]) for p in pieces]
+        for k in order.tolist():
+            pi = int(np.searchsorted(bounds, k, side="right") - 1)
+            j = k - int(bounds[pi])
+            start = int(piece_prefix[pi][j])
+            chunks.append(datas[pi][start:start + int(pieces[pi][0][1][j])])
+        merged_data = (np.concatenate(chunks) if chunks
+                       else np.empty(0, np.uint8))
+    w_offs, w_lens = coalesce(sorted_offs, sorted_lens)
+    if int(w_lens.sum()) != int(sorted_lens.sum()):
+        raise MPIIOError(
+            "overlapping segments reached one merge point; "
+            "collective writes must target disjoint file regions"
+        )
+    return (w_offs, w_lens), merged_data
+
+
+def _aggregate_and_write(env: IOEnv, all_counts: np.ndarray,
+                         local_piece, rnd: int, memcpy_bw: float,
+                         pending: Optional[list] = None
+                         ) -> Generator[Any, Any, None]:
+    """Aggregator side of one write round: collect, merge, write.
+
+    With ``pipelined_io`` the file write runs as a background task
+    (double-buffered split-phase I/O): the aggregator proceeds to the
+    next round's exchange while the OST drains this round's window, and
+    the caller joins all outstanding writes after the last round.
+    """
+    comm = env.comm
+    sources = [s for s in range(comm.size)
+               if s != comm.rank and int(all_counts[s]) > 0]
+    recv_reqs = [comm.irecv(source=s, tag=TP_TAG + rnd) for s in sources]
+    pieces = []
+    if local_piece is not None:
+        pieces.append(local_piece)
+    got = yield from comm.waitall(recv_reqs, category="exchange")
+    for payload, _status in got:
+        sub_offs, sub_lens, piece_data = payload.data
+        pieces.append(((sub_offs, sub_lens), piece_data))
+    if not pieces:
+        return
+    (w_offs, w_lens), merged_data = merge_pieces(
+        pieces, verified=env.lfile.store is not None)
+    # copy into the collective buffer costs a memcpy
+    nbytes = int(w_lens.sum())
+    copy_t = nbytes / memcpy_bw
+    yield Sleep(copy_t)
+    env.breakdown.add("compute", copy_t)
+    write_gen = env.fs.write(env.lfile, client=comm.proc.rank,
+                             offsets=w_offs, lengths=w_lens,
+                             data=merged_data)
+    if pending is not None and env.hints.pipelined_io:
+        task = yield Spawn(write_gen, f"pipelined-write-r{rnd}")
+        pending.append(task)
+        return
+    t0 = comm.now
+    yield from write_gen
+    env.breakdown.add("io", comm.now - t0)
+
+
+def collective_read(env: IOEnv, segs: Segments,
+                    translate=None) -> Generator[Any, Any, Optional[np.ndarray]]:
+    """ext2ph collective read of my ``segs``; returns dense bytes (None in model).
+
+    ``translate`` as in :func:`collective_write`: requests ship translated
+    (physical) segments while placement into the caller's dense buffer
+    uses the original (logical) ones.
+    """
+    comm = env.comm
+    setup = yield from _setup(env, segs)
+    if setup is None:
+        return None if env.lfile.store is None else np.empty(0, np.uint8)
+    aggs, starts, ends, ntimes, my_idx = setup
+    cb = env.hints.cb_buffer_size
+    offs, lens = segs
+    prefix = _prefix_of(lens)
+    total = int(lens.sum())
+    verified = env.lfile.store is not None
+    out = np.empty(total, dtype=np.uint8) if verified else None
+
+    memcpy_bw = comm.world.network.params.memcpy_bandwidth
+    for rnd in range(ntimes):
+        want_lists = _send_lists_for_round(segs, aggs, starts, ends, rnd, cb)
+        counts = _counts_vector(want_lists, aggs, comm.size)
+        all_counts = yield from comm.alltoall(counts, nbytes_each=8,
+                                              category="sync")
+        # send my request lists to remote aggregators (translated if needed)
+        sent_lists = (want_lists if translate is None
+                      else {a: translate(sub) for a, sub in want_lists.items()})
+        req_reqs = []
+        local_want = None
+        for a, sub in sent_lists.items():
+            if aggs[a] == comm.rank:
+                local_want = sub
+                continue
+            nbytes = SEG_HEADER_BYTES * sub[0].size
+            req_reqs.append(comm.isend(Payload(nbytes, (sub[0], sub[1])),
+                                       dest=aggs[a], tag=TP_TAG + rnd))
+        local_reply = None
+        reply_reqs: list = []
+        if my_idx >= 0:
+            local_reply, reply_reqs = yield from _read_and_reply(
+                env, all_counts, local_want, rnd, memcpy_bw)
+        # collect replies for my requests; my own outbound replies are
+        # still in flight (isends) — waiting for them before receiving
+        # would deadlock two aggregators serving each other
+        for a, sub in want_lists.items():
+            if aggs[a] == comm.rank:
+                if verified:
+                    place_data(segs, prefix, out, sub, local_reply)
+                continue
+            payload = yield from comm.recv(source=aggs[a],
+                                           tag=REPLY_TAG + rnd,
+                                           category="exchange")
+            if verified:
+                place_data(segs, prefix, out, sub, payload.data)
+        if reply_reqs:
+            yield from comm.waitall(reply_reqs, category="exchange")
+        if req_reqs:
+            yield from comm.waitall(req_reqs, category="exchange")
+    return out
+
+
+def _read_and_reply(env: IOEnv, all_counts: np.ndarray, local_want,
+                    rnd: int, memcpy_bw: float
+                    ) -> Generator[Any, Any,
+                                   tuple[Optional[np.ndarray], list]]:
+    """Aggregator side of one read round: gather requests, read, reply.
+
+    Returns ``(local_reply, reply_requests)`` — the reply isends are NOT
+    awaited here: the caller must first receive its own incoming replies
+    (two aggregators serving each other would otherwise cycle).
+    """
+    comm = env.comm
+    sources = [s for s in range(comm.size)
+               if s != comm.rank and int(all_counts[s]) > 0]
+    reqs = [comm.irecv(source=s, tag=TP_TAG + rnd) for s in sources]
+    got = yield from comm.waitall(reqs, category="exchange")
+    requests: list[tuple[int, Segments]] = []
+    for (payload, status) in got:
+        sub_offs, sub_lens = payload.data
+        src = comm.desc.rank_of.get(status.source, status.source)
+        requests.append((src, (sub_offs, sub_lens)))
+    if local_want is not None:
+        requests.append((comm.rank, local_want))
+    if not requests:
+        return None, []
+    union = coalesce(np.concatenate([r[1][0] for r in requests]),
+                     np.concatenate([r[1][1] for r in requests]))
+    t0 = comm.now
+    union_data = yield from env.fs.read(env.lfile, client=comm.proc.rank,
+                                        offsets=union[0], lengths=union[1])
+    env.breakdown.add("io", comm.now - t0)
+    nbytes = int(union[1].sum())
+    copy_t = nbytes / memcpy_bw
+    yield Sleep(copy_t)
+    env.breakdown.add("compute", copy_t)
+    union_prefix = _prefix_of(union[1])
+    local_reply = None
+    verified = union_data is not None
+    # replies go out as isends: a blocking (rendezvous) send here could
+    # deadlock against a requester still waiting on another aggregator
+    reply_reqs = []
+    for src, sub in requests:
+        piece = (extract_data(union, union_prefix, union_data, sub)
+                 if verified else None)
+        if src == comm.rank:
+            local_reply = piece
+            continue
+        reply_bytes = int(sub[1].sum())
+        reply_reqs.append(comm.isend(Payload(reply_bytes, piece), dest=src,
+                                     tag=REPLY_TAG + rnd))
+    return local_reply, reply_reqs

@@ -1,0 +1,36 @@
+"""ParColl: Partitioned Collective I/O (the paper's contribution).
+
+ParColl augments the extended two-phase protocol with three mechanisms:
+
+* **file area partitioning** (:mod:`repro.parcoll.partition`) — processes
+  and the file are consistently divided into subgroups owning disjoint,
+  load-balanced File Areas; access patterns are classified as directly
+  partitionable ((a) serial, (b) groupable tiles) or needing translation
+  ((c) interleaved);
+* **intermediate file views** (:mod:`repro.parcoll.intermediate_view`) —
+  pattern (c) switches to a logical file in which each process's segments
+  are virtually joined, making partitioning trivial; logical windows are
+  translated back to physical segments sender-side during the exchange;
+* **I/O aggregator distribution** (:mod:`repro.parcoll.aggregator_dist`) —
+  the round-robin node-slot algorithm of Section 4.2 meeting the paper's
+  three requirements (≥1 aggregator per subgroup, no node split across
+  subgroups, even distribution).
+
+The driver (:mod:`repro.parcoll.driver`) wires these together: subgroups
+are formed with ``comm.split`` (cached across calls) and each runs the
+unmodified ext2ph engine over its own file area — so global
+synchronization shrinks to subgroup synchronization, breaking the
+*collective wall*.
+"""
+
+from repro.parcoll.aggregator_dist import distribute_aggregators
+from repro.parcoll.driver import parcoll_read, parcoll_write
+from repro.parcoll.partition import PartitionPlan, plan_partition
+
+__all__ = [
+    "plan_partition",
+    "PartitionPlan",
+    "distribute_aggregators",
+    "parcoll_write",
+    "parcoll_read",
+]

@@ -1,0 +1,81 @@
+"""I/O aggregator distribution across subgroups (Section 4.2).
+
+The user (or the default one-per-node rule) supplies a list of aggregator
+*processes*; each stands for its physical node.  ParColl must hand these
+node slots to subgroups such that:
+
+(a) every subgroup gets at least one aggregator;
+(b) no two processes of one physical node aggregate for different
+    subgroups — a node slot goes to exactly one subgroup, instantiated as
+    that subgroup's member process on the node;
+(c) slots are distributed as evenly as the grouping permits.
+
+The algorithm is the paper's: traverse subgroups round-robin; each turn a
+subgroup claims the first unassigned aggregator node on which it has a
+member, until all slots are assigned.  Requirement (a) is enforced last:
+a subgroup left empty-handed (no aggregator node hosts any of its members)
+falls back to its lowest-ranked member.
+
+This module reproduces Figure 5's block and cyclic worked examples exactly
+(asserted in the test suite).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import Machine
+from repro.errors import ParCollError
+
+
+def distribute_aggregators(groups: list[list[int]], agg_ranks: list[int],
+                           member_world_ranks: list[int],
+                           machine: Machine) -> list[list[int]]:
+    """Assign aggregators to subgroups.
+
+    ``groups``: member ranks (parent-communicator ranks) per subgroup;
+    ``agg_ranks``: the aggregator list (parent-communicator ranks);
+    ``member_world_ranks``: parent rank -> world rank (for node lookup).
+
+    Returns the aggregator ranks (parent-communicator ranks) per subgroup.
+    """
+    if not groups or any(not g for g in groups):
+        raise ParCollError("every subgroup needs at least one member")
+    if not agg_ranks:
+        raise ParCollError("aggregator list must not be empty")
+
+    def node_of(parent_rank: int) -> int:
+        return machine.node_of_rank(member_world_ranks[parent_rank])
+
+    # aggregator node slots, in list order, deduplicated
+    slots: list[int] = []
+    for r in agg_ranks:
+        n = node_of(r)
+        if n not in slots:
+            slots.append(n)
+    members_by_node: list[dict[int, int]] = []
+    for g in groups:
+        by_node: dict[int, int] = {}
+        for r in sorted(g):
+            by_node.setdefault(node_of(r), r)
+        members_by_node.append(by_node)
+
+    assignment: list[list[int]] = [[] for _ in groups]
+    unassigned = list(slots)
+    exhausted = [False] * len(groups)
+    while unassigned and not all(exhausted):
+        for gi in range(len(groups)):
+            if not unassigned:
+                break
+            if exhausted[gi]:
+                continue
+            for si, node in enumerate(unassigned):
+                if node in members_by_node[gi]:
+                    assignment[gi].append(members_by_node[gi][node])
+                    unassigned.pop(si)
+                    break
+            else:
+                exhausted[gi] = True
+    # requirement (a): no subgroup goes without an aggregator
+    for gi, aggs in enumerate(assignment):
+        if not aggs:
+            assignment[gi] = [min(groups[gi])]
+    return assignment

@@ -1,0 +1,67 @@
+"""Adaptive group-size selection (the paper's future-work extension).
+
+The paper leaves "adaptively choosing the best group size" to future
+work, noting the optimum "is closely correlated with the I/O pattern of a
+particular application".  This module implements a first-order chooser
+from the quantities the trade-off actually balances:
+
+* **synchronization** falls with the subgroup size (fewer participants
+  per collective, less straggler exposure) — pushing toward many groups;
+* **aggregation quality** needs each subgroup to keep enough aggregators
+  and enough contiguous data per round to produce large, OST-aligned
+  writes — pushing toward few groups.
+
+The heuristic: make each subgroup's file area a small integer number of
+stripes-per-OST wide (so subgroups do not share OST objects), keep at
+least one node's worth of aggregator per group, and never let groups drop
+below a handful of members.  It reproduces the *order of magnitude* of
+the swept optimum on the paper's workloads (asserted in tests); a sweep
+(:mod:`repro.harness.figures.fig07_tileio_groups`) remains the gold
+standard.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParCollError
+
+
+def recommend_groups(extents: list[tuple[int, int, int]], nprocs: int,
+                     n_osts: int, stripe_size: int = 4 << 20,
+                     min_group_size: int = 4,
+                     cb_buffer_size: int = 4 << 20) -> int:
+    """Recommend a ParColl subgroup count for the given access pattern.
+
+    ``extents`` is the per-rank ``(lo, hi, nbytes)`` list (what the driver
+    allgathers anyway); ``n_osts``/``stripe_size`` describe the target
+    file system.
+    """
+    if nprocs <= 0:
+        raise ParCollError("nprocs must be positive")
+    active = [(lo, hi, nb) for lo, hi, nb in extents if lo >= 0 and nb > 0]
+    if not active:
+        return 1
+    total_bytes = sum(nb for _, _, nb in active)
+    if total_bytes <= 0:
+        return 1
+
+    # ceiling 1: groups small enough to matter for sync, but never below
+    # min_group_size members
+    g_members = max(1, nprocs // min_group_size)
+
+    # ceiling 2: each group's file area should span at least one stripe
+    # per OST it will write, so per-round writes stay stripe-sized
+    span = (max(hi for _, hi, _ in active)
+            - min(lo for lo, _, _ in active))
+    g_stripes = max(1, span // (n_osts * stripe_size))
+
+    # ceiling 3: each group needs >= one collective-buffer round of data
+    g_rounds = max(1, total_bytes // (len(active) // min_group_size
+                                      * cb_buffer_size or 1))
+
+    g = min(g_members, g_stripes, g_rounds)
+    # round down to a power of two: subgroup counts interact with the
+    # binomial/dissemination collective algorithms
+    p2 = 1
+    while p2 * 2 <= g:
+        p2 *= 2
+    return max(1, p2)

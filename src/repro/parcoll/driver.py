@@ -1,0 +1,128 @@
+"""The ParColl driver: plan, split, distribute, run ext2ph per subgroup.
+
+Control flow of one partitioned collective call (all ranks of the parent
+communicator participate):
+
+1. allgather ``(lo, hi, nbytes)`` access extents ('sync' — one global
+   collective, the only one ParColl keeps at full scale);
+2. every rank computes the identical :class:`PartitionPlan` from the
+   gathered extents (pure function — no further agreement traffic);
+3. subgroup communicators come from ``comm.split`` keyed by the plan; they
+   are cached on the shared file handle, so a repeated pattern (every
+   checkpoint, every BT-IO step) pays the split cost once;
+4. the parent's aggregator list (``cb_nodes`` / ``cb_config_ranks`` hints)
+   is distributed over subgroups per Section 4.2;
+5. each subgroup runs the *unmodified* extended two-phase engine over its
+   own File Area — with the intermediate-view translator when the plan
+   demands it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.datatypes.flatten import Segments
+from repro.errors import ParCollError
+from repro.mpiio.aggregation import default_aggregators
+from repro.mpiio.two_phase import IOEnv, collective_read, collective_write
+from repro.parcoll.aggregator_dist import distribute_aggregators
+from repro.parcoll.intermediate_view import IntermediateView
+from repro.parcoll.partition import PartitionPlan, plan_partition
+
+
+def _prepare(env: IOEnv, segs: Segments, cache: dict
+             ) -> Generator[Any, Any, tuple]:
+    """Phases 1-4; returns (plan, subcomm, sub_hints, iview-or-None).
+
+    With ``parcoll_replan='once'`` (default), the global extent allgather
+    and grouping happen only on the first collective call on the file —
+    as the paper does at file-view initiation.  Later calls reuse the
+    grouping and coordinate purely within subgroups, which is what lets
+    subgroups drift apart instead of re-synchronizing globally per call.
+    The pattern must stay stationary (same per-rank byte counts for
+    intermediate views, rank-monotone offsets); use 'always' otherwise.
+    """
+    comm = env.comm
+    offs, lens = segs
+    lo = int(offs[0]) if offs.size else -1
+    hi = int(offs[-1] + lens[-1]) if offs.size else -1
+    nbytes = int(lens.sum())
+    if env.hints.parcoll_replan == "once":
+        held = cache.get(("plan", comm.rank))
+        if held is not None:
+            plan, subcomm, sub_hints, plan_nbytes = held
+            iview = None
+            if plan.uses_intermediate_view:
+                if nbytes != plan_nbytes:
+                    raise ParCollError(
+                        "access size changed under parcoll_replan='once' "
+                        "with intermediate file views; set "
+                        "parcoll_replan='always' for non-stationary patterns"
+                    )
+                iview = IntermediateView(segs, plan.logical_prefix[comm.rank])
+            return plan, subcomm, sub_hints, iview
+    extents = yield from comm.allgather((lo, hi, nbytes), category="sync")
+    plan = plan_partition(extents, env.hints.parcoll_ngroups,
+                          allow_intermediate=env.hints.parcoll_intermediate_views)
+    # the cache dict is shared by all ranks of the file, but communicator
+    # handles are per-rank objects — key by rank.  Hits and misses stay
+    # symmetric across ranks because the plan is a pure function of the
+    # allgathered extents.
+    key = (plan.cache_key(), comm.rank)
+    cached = cache.get(key)
+    if cached is None:
+        my_group = plan.group_of[comm.rank]
+        subcomm = yield from comm.split(color=my_group, category="sync")
+        # aggregator distribution is deterministic: all ranks compute it
+        groups = [[r for r in range(comm.size) if plan.group_of[r] == g]
+                  for g in range(plan.ngroups)]
+        parent_aggs = default_aggregators(comm.desc.members, env.machine,
+                                          env.hints)
+        per_group = distribute_aggregators(groups, parent_aggs,
+                                           comm.desc.members, env.machine)
+        # translate my group's aggregators to subcommunicator ranks
+        members_sorted = groups[my_group]
+        sub_aggs = tuple(members_sorted.index(r) for r in per_group[my_group])
+        sub_hints = env.hints.with_(cb_config_ranks=sub_aggs,
+                                    protocol="ext2ph", parcoll_ngroups=1)
+        cached = (subcomm, sub_hints)
+        cache[key] = cached
+    subcomm, sub_hints = cached
+    if env.hints.parcoll_replan == "once":
+        cache[("plan", comm.rank)] = (plan, subcomm, sub_hints, nbytes)
+    iview = None
+    if plan.uses_intermediate_view:
+        iview = IntermediateView(segs, plan.logical_prefix[comm.rank])
+    return plan, subcomm, sub_hints, iview
+
+
+def parcoll_write(env: IOEnv, segs: Segments, data: Optional[np.ndarray],
+                  cache: dict, view=None) -> Generator[Any, Any, int]:
+    """Partitioned collective write; returns bytes written by this rank.
+
+    Under an intermediate view, the grouping came from logical space; the
+    exchange itself runs either over the original physical segments
+    (default — windows stay dense, writes coalesce) or in logical space
+    with sender-side translation (the 'logical' ablation path).
+    """
+    plan, subcomm, sub_hints, iview = yield from _prepare(env, segs, cache)
+    sub_env = IOEnv(comm=subcomm, machine=env.machine, fs=env.fs,
+                    lfile=env.lfile, hints=sub_hints)
+    if iview is not None and env.hints.parcoll_data_path == "logical":
+        return (yield from collective_write(sub_env, iview.logical_segments,
+                                            data, translate=iview.translate))
+    return (yield from collective_write(sub_env, segs, data))
+
+
+def parcoll_read(env: IOEnv, segs: Segments, cache: dict, view=None
+                 ) -> Generator[Any, Any, Optional[np.ndarray]]:
+    """Partitioned collective read; returns this rank's dense bytes."""
+    plan, subcomm, sub_hints, iview = yield from _prepare(env, segs, cache)
+    sub_env = IOEnv(comm=subcomm, machine=env.machine, fs=env.fs,
+                    lfile=env.lfile, hints=sub_hints)
+    if iview is not None and env.hints.parcoll_data_path == "logical":
+        return (yield from collective_read(sub_env, iview.logical_segments,
+                                           translate=iview.translate))
+    return (yield from collective_read(sub_env, segs))

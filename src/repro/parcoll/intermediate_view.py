@@ -1,0 +1,63 @@
+"""Intermediate file views: logical joining of per-process segments.
+
+For pattern (c) — per-process accesses spread across the whole file —
+ParColl runs the partitioned protocol in a *logical* file: each rank's
+data bytes are virtually joined into one contiguous logical range
+(``[prefix[r], prefix[r] + nbytes[r])``).  Partitioning the logical file
+is then the trivial serial pattern (a).
+
+The original (physical) view is still authoritative for the actual file
+layout: when a sender's logical window intersection leaves the node, it is
+translated back to physical segments with :func:`translate`, which slices
+the rank's physical segment list by data position.  Translation preserves
+byte counts and data order, so the unmodified two-phase engine handles
+the shipped pieces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatypes.flatten import Segments, slice_by_data
+from repro.errors import ParCollError
+
+
+class IntermediateView:
+    """Logical↔physical translation for one rank's access."""
+
+    __slots__ = ("phys_segs", "logical_base", "total")
+
+    def __init__(self, phys_segs: Segments, logical_base: int):
+        self.phys_segs = phys_segs
+        self.logical_base = int(logical_base)
+        self.total = int(phys_segs[1].sum())
+
+    @property
+    def logical_segments(self) -> Segments:
+        """My access in logical space: exactly one contiguous segment."""
+        if self.total == 0:
+            return (np.empty(0, np.int64), np.empty(0, np.int64))
+        return (np.array([self.logical_base], dtype=np.int64),
+                np.array([self.total], dtype=np.int64))
+
+    def translate(self, sub_logical: Segments) -> Segments:
+        """Physical segments for a logical sub-range of *my* access.
+
+        ``sub_logical`` must lie within my logical range; the result keeps
+        data order (physical offsets are monotone in data position for the
+        monotone file views this library supports).
+        """
+        offs, lens = sub_logical
+        if offs.size == 0:
+            return sub_logical
+        lo = int(offs[0]) - self.logical_base
+        hi = int(offs[-1] + lens[-1]) - self.logical_base
+        if lo < 0 or hi > self.total:
+            raise ParCollError(
+                f"logical range [{lo}, {hi}) outside my access of {self.total}B"
+            )
+        if offs.size != 1:
+            # logical access is one contiguous run, so any intersection
+            # with a contiguous window is a single segment
+            raise ParCollError("logical intersections must be contiguous")
+        return slice_by_data(self.phys_segs, lo, hi)

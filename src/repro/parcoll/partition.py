@@ -1,0 +1,185 @@
+"""File Area partitioning: grouping processes and bytes (Section 4.1).
+
+Given every rank's access extent (physical start/end and byte count) and a
+requested subgroup count ``G``:
+
+1. ranks are sorted by start offset and greedily packed into ``G``
+   byte-balanced groups;
+2. each group's File Area is the hull of its members' extents;
+3. if the FAs are pairwise disjoint, the pattern partitions *directly*
+   (patterns (a)/(b) of Figure 4);
+4. otherwise the pattern is (c): the plan switches to an **intermediate
+   file view** — the logical file concatenates each rank's access in rank
+   order, packing becomes trivial, and FAs are logical byte ranges.
+
+The returned plan is a pure function of the inputs, so every rank computes
+the identical plan from the same allgathered extents — no extra
+communication is needed to agree on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ParCollError
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """The agreed grouping: one entry per rank of the parent communicator."""
+
+    #: subgroup id per rank (0..ngroups-1)
+    group_of: tuple[int, ...]
+    #: number of (non-empty) subgroups actually formed
+    ngroups: int
+    #: 'direct' (patterns a/b) or 'intermediate' (pattern c)
+    mode: str
+    #: per-group File Area [lo, hi) — physical for direct, logical otherwise
+    fa_bounds: tuple[tuple[int, int], ...]
+    #: logical start offset per rank (intermediate mode only)
+    logical_prefix: Optional[tuple[int, ...]] = None
+
+    @property
+    def uses_intermediate_view(self) -> bool:
+        return self.mode == "intermediate"
+
+    def cache_key(self) -> tuple:
+        return (self.group_of, self.mode)
+
+
+def _greedy_pack(order: list[int], nbytes: list[int], G: int) -> list[int]:
+    """Assign sorted ranks to ≤G contiguous groups with ~equal bytes.
+
+    Returns the group id per position in ``order``.  Guarantees group ids
+    are contiguous 0..k-1 and non-decreasing along ``order``.
+    """
+    total = sum(nbytes[r] for r in order)
+    if total == 0 or G <= 1:
+        return [0] * len(order)
+    target = total / G
+    gids = []
+    cum = 0
+    for pos, r in enumerate(order):
+        g = min(G - 1, int(cum / target))
+        # never leave fewer ranks than remaining groups would need
+        g = min(g, pos)
+        gids.append(g)
+        cum += nbytes[r]
+    # renumber to drop any skipped ids
+    remap: dict[int, int] = {}
+    out = []
+    for g in gids:
+        if g not in remap:
+            remap[g] = len(remap)
+        out.append(remap[g])
+    return out
+
+
+def plan_partition(extents: list[tuple[int, int, int]], ngroups: int,
+                   allow_intermediate: bool = True) -> PartitionPlan:
+    """Compute the ParColl grouping from allgathered ``(lo, hi, nbytes)``.
+
+    ``lo``/``hi`` are the physical extent of each rank's access (``lo=-1``
+    for ranks accessing nothing); ``nbytes`` the data volume.  ``ngroups``
+    is the requested subgroup count (clamped to the number of active
+    ranks).  When the direct FAs intersect and ``allow_intermediate`` is
+    false, overlapping groups are merged instead (degrading toward fewer
+    groups) — the ablation showing why intermediate views matter.
+    """
+    if ngroups <= 0:
+        raise ParCollError(f"ngroups must be positive, got {ngroups}")
+    size = len(extents)
+    active = [r for r in range(size) if extents[r][0] >= 0 and extents[r][2] > 0]
+    if not active:
+        return PartitionPlan(group_of=tuple([0] * size), ngroups=1,
+                             mode="direct", fa_bounds=((0, 0),))
+    G = min(ngroups, len(active))
+    nbytes = [extents[r][2] for r in range(size)]
+
+    # ---- direct attempt: sort by physical start offset -----------------
+    order = sorted(active, key=lambda r: (extents[r][0], extents[r][1], r))
+    gids_sorted = _greedy_pack(order, nbytes, G)
+    group_of = [-1] * size
+    for pos, r in enumerate(order):
+        group_of[r] = gids_sorted[pos]
+    k = max(gids_sorted) + 1
+    fa = []
+    for g in range(k):
+        lo = min(extents[r][0] for r in active if group_of[r] == g)
+        hi = max(extents[r][1] for r in active if group_of[r] == g)
+        fa.append((lo, hi))
+    disjoint = all(fa[g][1] <= fa[g + 1][0] for g in range(k - 1))
+
+    if disjoint:
+        _assign_idle(group_of, size, k)
+        return PartitionPlan(group_of=tuple(group_of), ngroups=k,
+                             mode="direct", fa_bounds=tuple(fa))
+
+    if not allow_intermediate:
+        return _merged_plan(extents, group_of, fa, size, active)
+
+    # ---- pattern (c): intermediate file view ---------------------------
+    # logical file = per-rank accesses joined in rank order
+    prefix = [0] * size
+    cum = 0
+    for r in range(size):
+        prefix[r] = cum
+        cum += nbytes[r]
+    order = sorted(active)  # logical order is rank order
+    gids_sorted = _greedy_pack(order, nbytes, G)
+    group_of = [-1] * size
+    for pos, r in enumerate(order):
+        group_of[r] = gids_sorted[pos]
+    k = max(gids_sorted) + 1
+    fa = []
+    for g in range(k):
+        members = [r for r in active if group_of[r] == g]
+        lo = min(prefix[r] for r in members)
+        hi = max(prefix[r] + nbytes[r] for r in members)
+        fa.append((lo, hi))
+    _assign_idle(group_of, size, k)
+    return PartitionPlan(group_of=tuple(group_of), ngroups=k,
+                         mode="intermediate", fa_bounds=tuple(fa),
+                         logical_prefix=tuple(prefix))
+
+
+def _assign_idle(group_of: list[int], size: int, k: int) -> None:
+    """Spread ranks with no data round-robin over the groups."""
+    nxt = 0
+    for r in range(size):
+        if group_of[r] < 0:
+            group_of[r] = nxt % k
+            nxt += 1
+
+
+def _merged_plan(extents, group_of, fa, size, active) -> PartitionPlan:
+    """Merge overlapping direct groups (fallback when views are disabled)."""
+    k = len(fa)
+    # union-find style sweep: groups sorted by lo; merge while overlapping
+    order = sorted(range(k), key=lambda g: fa[g][0])
+    merged_id = {}
+    cur_id = -1
+    cur_hi = None
+    for g in order:
+        lo, hi = fa[g]
+        if cur_hi is None or lo >= cur_hi:
+            cur_id += 1
+            cur_hi = hi
+        else:
+            cur_hi = max(cur_hi, hi)
+        merged_id[g] = cur_id
+    new_of = [merged_id[g] if g >= 0 else -1 for g in group_of]
+    nk = cur_id + 1
+    new_fa: list[tuple[int, int]] = [(None, None)] * nk  # type: ignore[list-item]
+    for r in active:
+        g = new_of[r]
+        lo, hi = extents[r][0], extents[r][1]
+        cl, ch = new_fa[g]
+        new_fa[g] = (lo if cl is None else min(cl, lo),
+                     hi if ch is None else max(ch, hi))
+    _assign_idle(new_of, size, nk)
+    return PartitionPlan(group_of=tuple(new_of), ngroups=nk, mode="direct",
+                         fa_bounds=tuple(new_fa))

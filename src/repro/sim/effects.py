@@ -1,0 +1,55 @@
+"""Effect objects yielded by simulation tasks.
+
+A task is a generator.  Whenever it needs to interact with the virtual
+world — advance time, wait for a signal, start or join another task — it
+yields one of these effect objects and is resumed by the engine when the
+effect completes.  Blocking helpers in higher layers are themselves
+generators and are invoked with ``yield from``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.engine import Event, Task
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Suspend the task for ``dt`` seconds of virtual time.
+
+    ``dt`` may be zero (yield the scheduler without advancing time); it
+    must not be negative.
+    """
+
+    dt: float
+
+
+@dataclass(frozen=True)
+class WaitEvent:
+    """Suspend the task until the event fires; resumes with its value."""
+
+    event: "Event"
+
+
+@dataclass(frozen=True)
+class Spawn:
+    """Start ``gen`` as a new task; resumes immediately with the Task."""
+
+    gen: Generator[Any, Any, Any]
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Join:
+    """Suspend until ``task`` finishes; resumes with its return value.
+
+    If the joined task raised, the exception is re-raised in the joiner.
+    """
+
+    task: "Task"
+
+
+Effect = Sleep | WaitEvent | Spawn | Join

@@ -1,0 +1,262 @@
+"""The discrete-event engine: virtual clock, scheduler, tasks, events.
+
+Design notes
+------------
+* The ready queue is a binary heap keyed by ``(time, seq)`` where ``seq``
+  is a monotone counter; this makes execution order fully deterministic.
+* Tasks are trampolined generators.  ``_step`` resumes a task and
+  dispatches the effect it yields.  Effects that can complete immediately
+  (spawning, waiting on an already-fired event, joining a finished task)
+  are handled in a tight loop without touching the heap, which matters:
+  large collective-I/O runs execute millions of effects.
+* When the heap drains while tasks are still blocked the engine raises
+  :class:`~repro.errors.DeadlockError` with a description of every blocked
+  task — mismatched MPI tags or an absent collective participant then
+  produce a readable diagnostic instead of a silent hang.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import DeadlockError, SimulationError, TaskFailedError
+from repro.sim.effects import Join, Sleep, Spawn, WaitEvent
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot signal carrying a value.
+
+    Multiple tasks may wait on the same event; all are resumed with the
+    fired value.  Firing twice is an error (it would indicate a protocol
+    bug in a higher layer, e.g. a message delivered to two receivers).
+    """
+
+    __slots__ = ("engine", "name", "_value", "_waiters")
+
+    def __init__(self, engine: "Engine", name: str = "event"):
+        self.engine = engine
+        self.name = name
+        self._value: Any = _PENDING
+        self._waiters: list[Task] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError(f"event {self.name!r} read before being fired")
+        return self._value
+
+    def fire(self, value: Any = None) -> None:
+        """Fire now: resume every waiter at the current virtual time."""
+        if self.fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for task in waiters:
+            self.engine._resume_soon(task, value)
+
+    def fire_at(self, t: float, value: Any = None) -> None:
+        """Schedule this event to fire at virtual time ``t``."""
+        self.engine.call_at(t, lambda: self.fire(value))
+
+    def fire_later(self, dt: float, value: Any = None) -> None:
+        """Schedule this event to fire ``dt`` seconds from now."""
+        self.engine.call_at(self.engine.now + dt, lambda: self.fire(value))
+
+
+class Task:
+    """A running generator plus its scheduling state."""
+
+    __slots__ = ("engine", "gen", "name", "done", "result", "error", "_joiners",
+                 "state", "_tid")
+
+    def __init__(self, engine: "Engine", gen: Generator[Any, Any, Any], name: str):
+        self.engine = engine
+        self.gen = gen
+        self.name = name
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._joiners: list[Task] = []
+        #: human-readable blocking state, used for deadlock diagnostics
+        self.state = "new"
+        self._tid: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Task {self.name} state={self.state}>"
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.state}"
+
+
+class Engine:
+    """A deterministic discrete-event scheduler with a virtual clock."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._live_tasks: dict[int, Task] = {}
+        self._next_task_id = 0
+        #: count of effects dispatched; cheap progress/perf metric
+        self.effects_dispatched = 0
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def call_at(self, t: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at virtual time ``t`` (>= now)."""
+        if t < self.now:
+            raise SimulationError(f"cannot schedule in the past: {t} < {self.now}")
+        self._seq += 1
+        heapq.heappush(self._heap, (t, self._seq, fn))
+
+    def call_later(self, dt: float, fn: Callable[[], None]) -> None:
+        self.call_at(self.now + dt, fn)
+
+    def spawn(self, gen: Generator[Any, Any, Any], name: Optional[str] = None) -> Task:
+        """Register ``gen`` as a task and schedule its first step now."""
+        self._next_task_id += 1
+        task = Task(self, gen, name or f"task-{self._next_task_id}")
+        tid = self._next_task_id
+        self._live_tasks[tid] = task
+        task.state = "ready"
+
+        def first_step(task=task, tid=tid):
+            self._step(task, None, tid=tid)
+
+        task._tid = tid
+        self.call_at(self.now, first_step)
+        return task
+
+    def _resume_soon(self, task: Task, value: Any) -> None:
+        tid = task._tid
+        self.call_at(self.now, lambda: self._step(task, value, tid=tid))
+
+    # ------------------------------------------------------------------
+    # trampoline
+    # ------------------------------------------------------------------
+    def _step(self, task: Task, value: Any, throw: Optional[BaseException] = None,
+              tid: Optional[int] = None) -> None:
+        gen = task.gen
+        task.state = "running"
+        while True:
+            self.effects_dispatched += 1
+            try:
+                if throw is not None:
+                    exc, throw = throw, None
+                    effect = gen.throw(exc)
+                else:
+                    effect = gen.send(value)
+            except StopIteration as stop:
+                self._finish(task, result=stop.value, tid=tid)
+                return
+            except BaseException as exc:  # noqa: BLE001 - propagate via joiners
+                self._finish(task, error=exc, tid=tid)
+                return
+
+            cls = effect.__class__
+            if cls is Sleep:
+                dt = effect.dt
+                if dt < 0:
+                    throw = SimulationError(f"negative sleep: {dt}")
+                    value = None
+                    continue
+                task.state = f"sleeping until t={self.now + dt:.9g}"
+                self.call_at(self.now + dt, lambda t=task, i=tid: self._step(t, None, tid=i))
+                return
+            elif cls is WaitEvent:
+                ev = effect.event
+                if ev.fired:
+                    value = ev.value
+                    continue
+                task.state = f"waiting on event {ev.name!r}"
+                ev._waiters.append(task)
+                return
+            elif cls is Spawn:
+                child = self.spawn(effect.gen, name=effect.name)
+                value = child
+                continue
+            elif cls is Join:
+                target = effect.task
+                if target.done:
+                    if target.error is not None:
+                        throw = target.error
+                        value = None
+                    else:
+                        value = target.result
+                    continue
+                task.state = f"joining task {target.name!r}"
+                target._joiners.append(task)
+                return
+            else:
+                throw = SimulationError(
+                    f"task {task.name!r} yielded a non-effect: {effect!r} "
+                    "(blocking helpers must be invoked with 'yield from')"
+                )
+                value = None
+
+    def _finish(self, task: Task, result: Any = None,
+                error: Optional[BaseException] = None, tid: Optional[int] = None) -> None:
+        task.done = True
+        task.result = result
+        task.error = error
+        task.state = "done" if error is None else f"failed: {error!r}"
+        if tid is not None:
+            self._live_tasks.pop(tid, None)
+        joiners, task._joiners = task._joiners, []
+        for joiner in joiners:
+            if error is not None:
+                jt = joiner._tid
+                self.call_at(self.now, lambda j=joiner, e=error, i=jt: self._step(j, None, throw=e, tid=i))
+            else:
+                self._resume_soon(joiner, result)
+        if error is not None and not joiners:
+            # No joiner will observe the failure: fail the whole run.
+            raise TaskFailedError(task.name, error) from error
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains (or past ``until``); returns final time.
+
+        Raises :class:`DeadlockError` if the heap drains while spawned
+        tasks are still blocked.
+        """
+        heap = self._heap
+        while heap:
+            t, _, fn = heapq.heappop(heap)
+            if until is not None and t > until:
+                # put it back; caller may continue later
+                heapq.heappush(heap, (t, _, fn))
+                self.now = until
+                return self.now
+            self.now = t
+            fn()
+        blocked = [task.describe() for task in self._live_tasks.values() if not task.done]
+        if blocked:
+            raise DeadlockError(blocked)
+        return self.now
+
+    def run_tasks(self, gens: list[Generator[Any, Any, Any]],
+                  names: Optional[list[str]] = None) -> list[Any]:
+        """Spawn ``gens``, run to completion, return their results in order."""
+        names = names or [f"task-{i}" for i in range(len(gens))]
+        tasks = [self.spawn(g, name=n) for g, n in zip(gens, names)]
+        try:
+            self.run()
+        except TaskFailedError as exc:
+            raise exc.original from exc
+        out = []
+        for task in tasks:
+            if task.error is not None:
+                raise task.error
+            out.append(task.result)
+        return out

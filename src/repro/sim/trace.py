@@ -1,0 +1,41 @@
+"""Lightweight event tracing for debugging and timeline inspection.
+
+The recorder is optional: when disabled (the default) tracing costs a
+single attribute check at each call site.  Records are plain tuples
+``(time, category, payload)`` so the recorder itself never allocates more
+than the caller asked for.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+
+class TraceRecorder:
+    """Collects ``(time, category, payload)`` records, optionally filtered."""
+
+    def __init__(self, categories: Optional[Iterable[str]] = None,
+                 max_records: Optional[int] = None):
+        #: if not None, only these categories are recorded
+        self.categories = set(categories) if categories is not None else None
+        self.max_records = max_records
+        self.records: list[tuple[float, str, Any]] = []
+        self.dropped = 0
+
+    def record(self, time: float, category: str, payload: Any) -> None:
+        if self.categories is not None and category not in self.categories:
+            return
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append((time, category, payload))
+
+    def by_category(self, category: str) -> list[tuple[float, Any]]:
+        return [(t, p) for (t, c, p) in self.records if c == category]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,137 @@
+"""Point-to-point messaging: matching queues, eager and rendezvous protocols.
+
+Matching follows MPI rules: a receive matches on ``(context, source, tag)``
+with ``ANY_SOURCE`` / ``ANY_TAG`` wildcards, posted receives match in post
+order, unexpected messages in arrival order, and messages between one
+(sender, receiver, context) pair do not overtake (guaranteed here by FIFO
+NIC resources plus sequence numbers).
+
+Protocols:
+
+* **eager** (size <= ``eager_threshold``) — the payload is pushed
+  immediately; the sender completes as soon as the NIC accepts the data.
+* **rendezvous** — only a header travels at send time; the data transfer
+  starts when the receiver matches the header (clear-to-send latency),
+  and the *sender* blocks until the NIC drains the payload.  This is what
+  couples process skew across ranks in collective I/O: a late receiver
+  stalls its senders.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.errors import MPIError
+from repro.sim.effects import WaitEvent
+from repro.sim.engine import Engine, Event
+from repro.simmpi.payload import Payload
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: modeled wire size of a rendezvous header / clear-to-send
+RTS_BYTES = 64
+
+
+class Status:
+    """Source and tag of a completed receive."""
+
+    __slots__ = ("source", "tag")
+
+    def __init__(self, source: int, tag: int):
+        self.source = source
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Status(source={self.source}, tag={self.tag})"
+
+
+class Message:
+    """An in-flight message (world-rank addressed)."""
+
+    __slots__ = ("ctx", "src", "dst", "tag", "payload", "rendezvous",
+                 "send_event", "seq")
+
+    def __init__(self, ctx: int, src: int, dst: int, tag: int,
+                 payload: Payload, rendezvous: bool,
+                 send_event: Optional[Event], seq: int):
+        self.ctx = ctx
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.payload = payload
+        self.rendezvous = rendezvous
+        self.send_event = send_event
+        self.seq = seq
+
+
+class PostedRecv:
+    """A receive waiting to be matched."""
+
+    __slots__ = ("ctx", "src", "tag", "event", "seq")
+
+    def __init__(self, ctx: int, src: int, tag: int, event: Event, seq: int):
+        self.ctx = ctx
+        self.src = src
+        self.tag = tag
+        self.event = event
+        self.seq = seq
+
+    def matches(self, msg: Message) -> bool:
+        return (self.ctx == msg.ctx
+                and self.src in (ANY_SOURCE, msg.src)
+                and self.tag in (ANY_TAG, msg.tag))
+
+
+class Request:
+    """Handle for a pending operation; complete it with ``yield from wait()``."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event):
+        self.event = event
+
+    @property
+    def complete(self) -> bool:
+        return self.event.fired
+
+    def wait(self) -> Generator[Any, Any, Any]:
+        value = yield WaitEvent(self.event)
+        return value
+
+
+def waitall(requests: list[Request]) -> Generator[Any, Any, list[Any]]:
+    """Complete all requests; returns their values in request order."""
+    out = []
+    for req in requests:
+        val = yield from req.wait()
+        out.append(val)
+    return out
+
+
+class Mailbox:
+    """Per-rank matching state."""
+
+    __slots__ = ("posted", "unexpected")
+
+    def __init__(self) -> None:
+        self.posted: list[PostedRecv] = []
+        self.unexpected: list[Message] = []
+
+    def match_posted(self, msg: Message) -> Optional[PostedRecv]:
+        """Find (and remove) the first posted recv matching ``msg``."""
+        for i, pr in enumerate(self.posted):
+            if pr.matches(msg):
+                return self.posted.pop(i)
+        return None
+
+    def match_unexpected(self, pr: PostedRecv) -> Optional[Message]:
+        """Find (and remove) the earliest unexpected message matching ``pr``."""
+        for i, msg in enumerate(self.unexpected):
+            if pr.matches(msg):
+                return self.unexpected.pop(i)
+        return None
+
+    def describe(self) -> str:
+        return (f"{len(self.posted)} posted recv(s), "
+                f"{len(self.unexpected)} unexpected message(s)")

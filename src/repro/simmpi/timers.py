@@ -1,0 +1,77 @@
+"""Per-rank time-breakdown accounting.
+
+The paper's Figure 2 splits collective-I/O time into synchronization
+(collective coordination), point-to-point data exchange, and file I/O.
+Every blocking operation in the MPI-IO stack charges its elapsed virtual
+time to one of these categories on the calling rank; a run-level summary
+(max and mean across ranks, mirroring the paper's per-file-close report)
+is assembled by the harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+#: canonical categories used throughout the I/O stack
+CATEGORIES = ("sync", "exchange", "io", "compute", "meta", "other")
+
+
+class TimeBreakdown:
+    """Accumulates seconds per category for one rank."""
+
+    __slots__ = ("times", "counts")
+
+    def __init__(self) -> None:
+        self.times: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+
+    def add(self, category: str, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"negative duration {dt} for {category!r}")
+        self.times[category] = self.times.get(category, 0.0) + dt
+        self.counts[category] = self.counts.get(category, 0) + 1
+
+    def get(self, category: str) -> float:
+        return self.times.get(category, 0.0)
+
+    def total(self, categories: Iterable[str] | None = None) -> float:
+        if categories is None:
+            return sum(self.times.values())
+        return sum(self.times.get(c, 0.0) for c in categories)
+
+    def clear(self) -> None:
+        self.times.clear()
+        self.counts.clear()
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self.times)
+
+    def merged_with(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        out = TimeBreakdown()
+        for src in (self, other):
+            for cat, t in src.times.items():
+                out.times[cat] = out.times.get(cat, 0.0) + t
+            for cat, n in src.counts.items():
+                out.counts[cat] = out.counts.get(cat, 0) + n
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = ", ".join(f"{c}={t:.6g}s" for c, t in sorted(self.times.items()))
+        return f"TimeBreakdown({parts})"
+
+
+def summarize(breakdowns: list[TimeBreakdown]) -> dict[str, dict[str, float]]:
+    """Aggregate per-rank breakdowns: max / mean / sum per category."""
+    cats: set[str] = set()
+    for bd in breakdowns:
+        cats.update(bd.times)
+    out: dict[str, dict[str, float]] = {}
+    n = max(1, len(breakdowns))
+    for cat in sorted(cats):
+        vals = [bd.get(cat) for bd in breakdowns]
+        out[cat] = {
+            "max": max(vals),
+            "mean": sum(vals) / n,
+            "sum": sum(vals),
+        }
+    return out

@@ -1,0 +1,591 @@
+"""The simulated MPI world: processes, delivery, communicators.
+
+A :class:`World` wires one :class:`Proc` per MPI rank to the machine's
+network model and hands each a ``COMM_WORLD`` :class:`Communicator`.
+Rank programs are generator functions ``program(comm) -> generator``;
+:meth:`World.launch` spawns one per rank and runs the engine to
+completion.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from repro.cluster.machine import Machine, MachineConfig
+from repro.cluster.network import NetworkModel, NetworkParams
+from repro.cluster.topology import Torus3D
+from repro.errors import MPIError, TaskFailedError
+from repro.sim.effects import Sleep, WaitEvent
+from repro.sim.engine import Engine, Event
+from repro.simmpi import analytic, collectives_detailed as detailed
+from repro.simmpi.p2p import (ANY_SOURCE, ANY_TAG, Mailbox, Message,
+                              PostedRecv, Request, RTS_BYTES, Status, waitall)
+from repro.simmpi.payload import Payload, sizeof
+from repro.simmpi.reduce_ops import SUM, ReduceOp
+from repro.simmpi.timers import TimeBreakdown
+
+
+class Proc:
+    """Per-rank state: mailbox, node placement, time accounting."""
+
+    __slots__ = ("world", "rank", "node", "mailbox", "breakdown", "comm_world")
+
+    def __init__(self, world: "World", rank: int):
+        self.world = world
+        self.rank = rank
+        self.node = world.machine.node_of_rank(rank)
+        self.mailbox = Mailbox()
+        self.breakdown = TimeBreakdown()
+        self.comm_world: Communicator = None  # type: ignore[assignment]
+
+    def compute(self, seconds: float) -> Generator[Any, Any, None]:
+        """Spend ``seconds`` of local CPU time (charged to 'compute')."""
+        yield Sleep(seconds)
+        self.breakdown.add("compute", seconds)
+
+
+class CommDescriptor:
+    """State shared by every rank's handle on one communicator."""
+
+    __slots__ = ("ctx", "members", "rank_of", "sites")
+
+    def __init__(self, ctx: int, members: list[int]):
+        self.ctx = ctx
+        #: world ranks of the group, in group-rank order
+        self.members = list(members)
+        self.rank_of = {wr: i for i, wr in enumerate(self.members)}
+        #: analytic collective sites keyed by op sequence number
+        self.sites: dict[int, "_Site"] = {}
+
+
+class _Site:
+    """Synchronization site for one analytic collective call."""
+
+    __slots__ = ("arrivals", "values", "event", "kind")
+
+    def __init__(self, engine: Engine, name: str, kind: str):
+        self.arrivals: dict[int, float] = {}
+        self.values: dict[int, Any] = {}
+        self.event = Event(engine, name)
+        #: operation kind of the first arrival — mismatches mean the
+        #: application called collectives in different orders per rank
+        self.kind = kind
+
+
+class World:
+    """All ranks plus shared network/communicator state."""
+
+    def __init__(self, machine: Machine | MachineConfig,
+                 net_params: Optional[NetworkParams] = None,
+                 topology: Optional[Torus3D] = None,
+                 collective_mode: str = "analytic",
+                 engine: Optional[Engine] = None):
+        if isinstance(machine, MachineConfig):
+            machine = Machine(machine)
+        if collective_mode not in ("analytic", "detailed"):
+            raise MPIError(f"unknown collective_mode {collective_mode!r}")
+        self.engine = engine or Engine()
+        self.machine = machine
+        self.network = NetworkModel(self.engine, machine, net_params, topology)
+        self.collective_mode = collective_mode
+        self.nprocs = machine.nprocs
+        self._msg_seq = 0
+        self._next_ctx = 1
+        #: registry of split-derived descriptors keyed (parent ctx, seq, color)
+        self._split_registry: dict[tuple, CommDescriptor] = {}
+        self.procs = [Proc(self, r) for r in range(self.nprocs)]
+        world_desc = CommDescriptor(ctx=0, members=list(range(self.nprocs)))
+        for proc in self.procs:
+            proc.comm_world = Communicator(proc, world_desc)
+
+    # ------------------------------------------------------------------
+    # message transport
+    # ------------------------------------------------------------------
+    def send_message(self, src: int, dst: int, ctx: int, tag: int,
+                     payload: Payload) -> Request:
+        """Start a message; returns the sender-completion request."""
+        if not 0 <= dst < self.nprocs:
+            raise MPIError(f"destination rank {dst} out of range")
+        eng = self.engine
+        self._msg_seq += 1
+        seq = self._msg_seq
+        send_event = Event(eng, f"send#{seq} {src}->{dst}")
+        rendezvous = payload.nbytes > self.network.params.eager_threshold
+        if not rendezvous:
+            free, arrival = self.network.transfer(src, dst, payload.nbytes)
+            msg = Message(ctx, src, dst, tag, payload, False, None, seq)
+            send_event.fire_at(free)
+            eng.call_at(arrival, lambda: self._deliver(msg))
+        else:
+            _, hdr_arrival = self.network.transfer(src, dst, RTS_BYTES)
+            msg = Message(ctx, src, dst, tag, payload, True, send_event, seq)
+            eng.call_at(hdr_arrival, lambda: self._deliver(msg))
+        return Request(send_event)
+
+    def post_recv(self, dst: int, ctx: int, src: int, tag: int) -> Request:
+        """Post a receive on rank ``dst``; request value is (payload, status)."""
+        eng = self.engine
+        self._msg_seq += 1
+        event = Event(eng, f"recv#{self._msg_seq} at {dst} from {src} tag {tag}")
+        pr = PostedRecv(ctx, src, tag, event, self._msg_seq)
+        mbox = self.procs[dst].mailbox
+        msg = mbox.match_unexpected(pr)
+        if msg is not None:
+            self._complete_match(msg, pr)
+        else:
+            mbox.posted.append(pr)
+        return Request(event)
+
+    def _deliver(self, msg: Message) -> None:
+        mbox = self.procs[msg.dst].mailbox
+        pr = mbox.match_posted(msg)
+        if pr is not None:
+            self._complete_match(msg, pr)
+        else:
+            mbox.unexpected.append(msg)
+
+    def _complete_match(self, msg: Message, pr: PostedRecv) -> None:
+        eng = self.engine
+        value = (msg.payload, Status(msg.src, msg.tag))
+        if not msg.rendezvous:
+            pr.event.fire(value)
+            return
+        # rendezvous: clear-to-send travels back, then the data moves
+        cts_latency = self.network.wire_latency(
+            self.machine.node_of_rank(msg.dst), self.machine.node_of_rank(msg.src)
+        ) + self.network.params.send_overhead
+
+        def start_transfer() -> None:
+            free, arrival = self.network.transfer(msg.src, msg.dst,
+                                                  msg.payload.nbytes)
+            msg.send_event.fire_at(free)
+            pr.event.fire_at(arrival, value)
+
+        eng.call_at(eng.now + cts_latency, start_transfer)
+
+    # ------------------------------------------------------------------
+    # communicator derivation
+    # ------------------------------------------------------------------
+    def derive_comm(self, parent: CommDescriptor, split_seq: int, color: Any,
+                    members: list[int]) -> CommDescriptor:
+        key = (parent.ctx, split_seq, color)
+        desc = self._split_registry.get(key)
+        if desc is None:
+            desc = CommDescriptor(ctx=self._next_ctx, members=members)
+            self._next_ctx += 1
+            self._split_registry[key] = desc
+        return desc
+
+    # ------------------------------------------------------------------
+    # program execution
+    # ------------------------------------------------------------------
+    def launch(self, program: Callable[["Communicator"], Generator],
+               ranks: Optional[list[int]] = None) -> list[Any]:
+        """Run ``program(comm_world)`` on every rank; returns per-rank results."""
+        ranks = list(range(self.nprocs)) if ranks is None else ranks
+        tasks = [
+            self.engine.spawn(program(self.procs[r].comm_world), name=f"rank-{r}")
+            for r in ranks
+        ]
+        try:
+            self.engine.run()
+        except TaskFailedError as exc:
+            raise exc.original from exc
+        out = []
+        for t in tasks:
+            if t.error is not None:
+                raise t.error
+            out.append(t.result)
+        return out
+
+    @property
+    def breakdowns(self) -> list[TimeBreakdown]:
+        return [p.breakdown for p in self.procs]
+
+
+class Communicator:
+    """One rank's handle on a process group (MPI communicator analog)."""
+
+    def __init__(self, proc: Proc, desc: CommDescriptor):
+        self.proc = proc
+        self.desc = desc
+        self.world = proc.world
+        self.rank = desc.rank_of[proc.rank]
+        self.size = len(desc.members)
+        self._op_seq = 0
+        self._split_seq = 0
+
+    # -- helpers --------------------------------------------------------
+    @property
+    def engine(self) -> Engine:
+        return self.world.engine
+
+    @property
+    def now(self) -> float:
+        return self.world.engine.now
+
+    def world_rank(self, group_rank: int) -> int:
+        if not 0 <= group_rank < self.size:
+            raise MPIError(
+                f"rank {group_rank} out of range for communicator of size {self.size}"
+            )
+        return self.desc.members[group_rank]
+
+    def _as_payload(self, obj: Any, nbytes: Optional[int]) -> Payload:
+        if isinstance(obj, Payload):
+            return obj
+        return Payload.of(obj, nbytes)
+
+    # -- point-to-point (raw: no time-category accounting) ---------------
+    def isend(self, obj: Any, dest: int, tag: int = 0,
+              nbytes: Optional[int] = None, _ctx: Optional[int] = None) -> Request:
+        payload = self._as_payload(obj, nbytes)
+        ctx = self.desc.ctx if _ctx is None else _ctx
+        return self.world.send_message(self.proc.rank, self.world_rank(dest),
+                                       ctx, tag, payload)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              _ctx: Optional[int] = None) -> Request:
+        ctx = self.desc.ctx if _ctx is None else _ctx
+        src = source if source == ANY_SOURCE else self.world_rank(source)
+        return self.world.post_recv(self.proc.rank, ctx, src, tag)
+
+    # -- blocking wrappers with accounting --------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0,
+             nbytes: Optional[int] = None,
+             category: str = "exchange") -> Generator[Any, Any, None]:
+        t0 = self.now
+        req = self.isend(obj, dest, tag, nbytes)
+        yield from req.wait()
+        self.proc.breakdown.add(category, self.now - t0)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             category: str = "exchange") -> Generator[Any, Any, Payload]:
+        t0 = self.now
+        req = self.irecv(source, tag)
+        payload, _status = yield from req.wait()
+        self.proc.breakdown.add(category, self.now - t0)
+        return payload
+
+    def recv_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+                    category: str = "exchange"
+                    ) -> Generator[Any, Any, tuple[Payload, Status]]:
+        t0 = self.now
+        req = self.irecv(source, tag)
+        payload, status = yield from req.wait()
+        self.proc.breakdown.add(category, self.now - t0)
+        status = Status(self.desc.rank_of.get(status.source, status.source),
+                        status.tag)
+        return payload, status
+
+    def wait(self, request: Request,
+             category: str = "exchange") -> Generator[Any, Any, Any]:
+        t0 = self.now
+        value = yield from request.wait()
+        self.proc.breakdown.add(category, self.now - t0)
+        return value
+
+    def waitall(self, requests: list[Request],
+                category: str = "exchange") -> Generator[Any, Any, list[Any]]:
+        t0 = self.now
+        values = yield from waitall(requests)
+        self.proc.breakdown.add(category, self.now - t0)
+        return values
+
+    # -- internal p2p on the collective context ---------------------------
+    @property
+    def _coll_ctx(self) -> int:
+        return -(self.desc.ctx + 1)
+
+    def _coll_isend(self, obj: Any, dest: int, tag: int,
+                    nbytes: Optional[int] = None) -> Request:
+        return self.isend(obj, dest, tag, nbytes, _ctx=self._coll_ctx)
+
+    def _coll_recv(self, source: int, tag: int) -> Generator[Any, Any, Payload]:
+        req = self.irecv(source, tag, _ctx=self._coll_ctx)
+        payload, _ = yield from req.wait()
+        return payload
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def _charge(self, category: str, t0: float) -> None:
+        self.proc.breakdown.add(category, self.now - t0)
+
+    def _analytic_site(self, value: Any, combine: Callable[[dict[int, Any]], list],
+                       cost: Callable[[dict[int, Any]], float],
+                       kind: str = "generic") -> Generator[Any, Any, Any]:
+        """Generic analytic collective: sync, combine, pay modeled cost."""
+        desc = self.desc
+        key = self._op_seq
+        site = desc.sites.get(key)
+        if site is None:
+            site = _Site(self.engine, f"coll-ctx{desc.ctx}-op{key}", kind)
+            desc.sites[key] = site
+        elif site.kind != kind:
+            raise MPIError(
+                f"collective call mismatch on communicator {desc.ctx}: "
+                f"rank {self.rank} called {kind!r} while another rank "
+                f"called {site.kind!r} at the same point (op #{key}) — "
+                "all ranks must issue collectives in the same order"
+            )
+        site.values[self.rank] = value
+        site.arrivals[self.rank] = self.now
+        if len(site.values) == self.size:
+            results = combine(site.values)
+            exit_time = max(site.arrivals.values()) + cost(site.values)
+            del desc.sites[key]
+            site.event.fire((exit_time, results))
+        exit_time, results = yield WaitEvent(site.event)
+        if exit_time > self.now:
+            yield Sleep(exit_time - self.now)
+        return results[self.rank]
+
+    def _collective(self, analytic_gen, detailed_gen, category: str
+                    ) -> Generator[Any, Any, Any]:
+        self._op_seq += 1
+        t0 = self.now
+        if self.size == 1:
+            result = yield from analytic_gen  # degenerate: immediate
+            detailed_gen.close()
+        elif self.world.collective_mode == "analytic":
+            result = yield from analytic_gen
+            detailed_gen.close()
+        else:
+            result = yield from detailed_gen
+            analytic_gen.close()
+        self._charge(category, t0)
+        return result
+
+    def barrier(self, category: str = "sync") -> Generator[Any, Any, None]:
+        params = self.world.network.params
+        a = self._analytic_site(
+            None,
+            combine=lambda vals: [None] * self.size,
+            cost=lambda vals: analytic.barrier_cost(params, self.size),
+            kind="barrier",
+        )
+        return (yield from self._collective(a, detailed.barrier(self), category))
+
+    def bcast(self, obj: Any, root: int = 0, nbytes: Optional[int] = None,
+              category: str = "sync") -> Generator[Any, Any, Any]:
+        params = self.world.network.params
+        n = sizeof(obj) if (nbytes is None and self.rank == root) else (nbytes or 0)
+
+        def combine(vals: dict[int, Any]) -> list:
+            return [vals[root]] * self.size
+
+        def cost(vals: dict[int, Any]) -> float:
+            nb = nbytes if nbytes is not None else sizeof(vals[root])
+            return analytic.bcast_cost(params, self.size, nb)
+
+        a = self._analytic_site(obj if self.rank == root else None, combine, cost, kind="bcast")
+        d = detailed.bcast(self, obj, root, nbytes)
+        return (yield from self._collective(a, d, category))
+
+    def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0,
+               nbytes: Optional[int] = None,
+               category: str = "sync") -> Generator[Any, Any, Any]:
+        params = self.world.network.params
+
+        def combine(vals: dict[int, Any]) -> list:
+            acc = op.reduce_all([vals[r] for r in range(self.size)])
+            return [acc if r == root else None for r in range(self.size)]
+
+        def cost(vals: dict[int, Any]) -> float:
+            nb = nbytes if nbytes is not None else sizeof(vals[0])
+            return analytic.reduce_cost(params, self.size, nb)
+
+        a = self._analytic_site(value, combine, cost, kind="reduce")
+        d = detailed.reduce(self, value, op, root, nbytes)
+        return (yield from self._collective(a, d, category))
+
+    def allreduce(self, value: Any, op: ReduceOp = SUM,
+                  nbytes: Optional[int] = None,
+                  category: str = "sync") -> Generator[Any, Any, Any]:
+        params = self.world.network.params
+
+        def combine(vals: dict[int, Any]) -> list:
+            acc = op.reduce_all([vals[r] for r in range(self.size)])
+            return [acc] * self.size
+
+        def cost(vals: dict[int, Any]) -> float:
+            nb = nbytes if nbytes is not None else sizeof(vals[0])
+            return analytic.allreduce_cost(params, self.size, nb)
+
+        a = self._analytic_site(value, combine, cost, kind="allreduce")
+        d = detailed.allreduce(self, value, op, nbytes)
+        return (yield from self._collective(a, d, category))
+
+    def gather(self, value: Any, root: int = 0, nbytes: Optional[int] = None,
+               category: str = "sync") -> Generator[Any, Any, Optional[list]]:
+        params = self.world.network.params
+
+        def combine(vals: dict[int, Any]) -> list:
+            full = [vals[r] for r in range(self.size)]
+            return [full if r == root else None for r in range(self.size)]
+
+        def cost(vals: dict[int, Any]) -> float:
+            nb = nbytes if nbytes is not None else max(sizeof(v) for v in vals.values())
+            return analytic.gather_cost(params, self.size, nb)
+
+        a = self._analytic_site(value, combine, cost, kind="gather")
+        d = detailed.gather(self, value, root, nbytes)
+        return (yield from self._collective(a, d, category))
+
+    def allgather(self, value: Any, nbytes: Optional[int] = None,
+                  category: str = "sync") -> Generator[Any, Any, list]:
+        params = self.world.network.params
+
+        def combine(vals: dict[int, Any]) -> list:
+            full = [vals[r] for r in range(self.size)]
+            return [full] * self.size
+
+        def cost(vals: dict[int, Any]) -> float:
+            if nbytes is not None:
+                return analytic.allgather_cost(params, self.size, nbytes)
+            total = sum(sizeof(v) for v in vals.values())
+            own = sizeof(vals[0])
+            return analytic.allgatherv_cost(params, self.size, total, own)
+
+        a = self._analytic_site(value, combine, cost, kind="allgather")
+        d = detailed.allgather(self, value, nbytes)
+        return (yield from self._collective(a, d, category))
+
+    def alltoall(self, values: list, nbytes_each: Optional[int] = None,
+                 category: str = "sync") -> Generator[Any, Any, list]:
+        if len(values) != self.size:
+            raise MPIError(
+                f"alltoall needs {self.size} values, got {len(values)}"
+            )
+        params = self.world.network.params
+
+        def combine(vals: dict[int, list]) -> list:
+            if all(isinstance(v, np.ndarray) for v in vals.values()):
+                # fast path for count vectors: transpose via numpy
+                mat = np.stack([vals[src] for src in range(self.size)])
+                return [mat[:, dst] for dst in range(self.size)]
+            return [[vals[src][dst] for src in range(self.size)]
+                    for dst in range(self.size)]
+
+        def cost(vals: dict[int, list]) -> float:
+            if nbytes_each is not None:
+                return analytic.alltoall_cost(params, self.size, nbytes_each)
+            max_send = max(sum(sizeof(x) for x in v) for v in vals.values())
+            return analytic.alltoallv_cost(params, self.size, max_send, max_send)
+
+        a = self._analytic_site(values, combine, cost, kind="alltoall")
+        d = detailed.alltoall(self, values, nbytes_each)
+        return (yield from self._collective(a, d, category))
+
+    def scatter(self, values: Optional[list] = None, root: int = 0,
+                nbytes: Optional[int] = None,
+                category: str = "sync") -> Generator[Any, Any, Any]:
+        """MPI_Scatter: rank i receives ``values[i]`` provided by the root."""
+        params = self.world.network.params
+        if self.rank == root and (values is None or len(values) != self.size):
+            raise MPIError(f"scatter root needs {self.size} values")
+
+        def combine(vals: dict[int, Any]) -> list:
+            return list(vals[root])
+
+        def cost(vals: dict[int, Any]) -> float:
+            nb = nbytes
+            if nb is None:
+                nb = max((sizeof(v) for v in vals[root]), default=0)
+            return analytic.scatter_cost(params, self.size, nb)
+
+        a = self._analytic_site(values if self.rank == root else None,
+                                combine, cost, kind="scatter")
+        d = detailed.scatter(self, values, root, nbytes)
+        return (yield from self._collective(a, d, category))
+
+    def reduce_scatter_block(self, values: list, op: ReduceOp = SUM,
+                             nbytes: Optional[int] = None,
+                             category: str = "sync"
+                             ) -> Generator[Any, Any, Any]:
+        """MPI_Reduce_scatter_block: reduce per-slot, keep my slot."""
+        if len(values) != self.size:
+            raise MPIError(
+                f"reduce_scatter_block needs {self.size} values, "
+                f"got {len(values)}"
+            )
+        params = self.world.network.params
+
+        def combine(vals: dict[int, list]) -> list:
+            return [op.reduce_all([vals[src][dst] for src in range(self.size)])
+                    for dst in range(self.size)]
+
+        def cost(vals: dict[int, list]) -> float:
+            nb = nbytes if nbytes is not None else sizeof(vals[0][0])
+            return analytic.alltoall_cost(params, self.size, nb)
+
+        a = self._analytic_site(values, combine, cost, kind="reduce_scatter_block")
+        d = detailed.reduce_scatter_block(self, values, op, nbytes)
+        return (yield from self._collective(a, d, category))
+
+    def exscan(self, value: Any, op: ReduceOp = SUM,
+               nbytes: Optional[int] = None,
+               category: str = "sync") -> Generator[Any, Any, Any]:
+        """MPI_Exscan: rank r gets the fold of ranks < r (None at rank 0)."""
+        params = self.world.network.params
+
+        def combine(vals: dict[int, Any]) -> list:
+            out: list[Any] = [None]
+            acc = None
+            for r in range(self.size - 1):
+                acc = vals[r] if acc is None else op(acc, vals[r])
+                out.append(acc)
+            return out
+
+        def cost(vals: dict[int, Any]) -> float:
+            nb = nbytes if nbytes is not None else sizeof(vals[0])
+            return analytic.scan_cost(params, self.size, nb)
+
+        a = self._analytic_site(value, combine, cost, kind="exscan")
+        d = detailed.exscan(self, value, op, nbytes)
+        return (yield from self._collective(a, d, category))
+
+    def scan(self, value: Any, op: ReduceOp = SUM, nbytes: Optional[int] = None,
+             category: str = "sync") -> Generator[Any, Any, Any]:
+        params = self.world.network.params
+
+        def combine(vals: dict[int, Any]) -> list:
+            out, acc = [], None
+            for r in range(self.size):
+                acc = vals[r] if acc is None else op(acc, vals[r])
+                out.append(acc)
+            return out
+
+        def cost(vals: dict[int, Any]) -> float:
+            nb = nbytes if nbytes is not None else sizeof(vals[0])
+            return analytic.scan_cost(params, self.size, nb)
+
+        a = self._analytic_site(value, combine, cost, kind="scan")
+        d = detailed.scan(self, value, op, nbytes)
+        return (yield from self._collective(a, d, category))
+
+    # ------------------------------------------------------------------
+    # communicator split
+    # ------------------------------------------------------------------
+    def split(self, color: Any, key: Optional[int] = None,
+              category: str = "sync") -> Generator[Any, Any, Optional["Communicator"]]:
+        """MPI_Comm_split: ranks with equal color form a new communicator.
+
+        ``color=None`` mirrors MPI_UNDEFINED: the rank gets no communicator.
+        """
+        self._split_seq += 1
+        split_seq = self._split_seq
+        key = self.rank if key is None else key
+        entries = yield from self.allgather((color, key, self.rank),
+                                            category=category)
+        if color is None:
+            return None
+        members_group = sorted(
+            (k, r) for (c, k, r) in entries if c == color
+        )
+        members_world = [self.desc.members[r] for (_, r) in members_group]
+        desc = self.world.derive_comm(self.desc, split_seq, color, members_world)
+        return Communicator(self.proc, desc)

@@ -1,0 +1,35 @@
+"""The paper's benchmark workloads, reimplemented from their access patterns.
+
+* :mod:`repro.workloads.ior` — IOR: contiguous blocks per rank into a
+  shared file, in fixed transfer units (Section 5.1);
+* :mod:`repro.workloads.tile_io` — MPI-Tile-IO: each rank renders one
+  tile of a dense 2-D dataset (Section 5.2); pattern (b) of Figure 4;
+* :mod:`repro.workloads.btio` — NAS BT-IO (full mode): diagonal
+  multi-partitioning, the pattern (c) workload requiring intermediate
+  file views (Section 5.3);
+* :mod:`repro.workloads.flash_io` — Flash I/O: HDF5 checkpoint + plotfile
+  output via :mod:`repro.workloads.hdf5lite` (Section 5.4); large
+  contiguous per-variable writes.
+
+Each workload exposes a dataclass config and a ``program(comm, io)``
+generator suitable for :meth:`repro.harness.runner.run_experiment`.
+"""
+
+from repro.workloads.base import AccessTimes, WorkloadIOStats
+from repro.workloads.ior import IORConfig, ior_program
+from repro.workloads.tile_io import TileIOConfig, tile_io_program
+from repro.workloads.btio import BTIOConfig, btio_program
+from repro.workloads.flash_io import FlashIOConfig, flash_io_program
+
+__all__ = [
+    "AccessTimes",
+    "WorkloadIOStats",
+    "IORConfig",
+    "ior_program",
+    "TileIOConfig",
+    "tile_io_program",
+    "BTIOConfig",
+    "btio_program",
+    "FlashIOConfig",
+    "flash_io_program",
+]

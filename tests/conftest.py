@@ -1,0 +1,50 @@
+"""Shared fixtures: a small simulated machine + file system + MPI-IO stack."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MachineConfig, NetworkParams
+from repro.lustre import LustreFS, LustreParams
+from repro.mpiio import MPIIO
+from repro.simmpi import World
+
+
+class Stack:
+    """A bundled world + file system + MPI-IO library for tests."""
+
+    def __init__(self, nprocs=8, cores_per_node=2, mapping="block",
+                 collective_mode="analytic", store_data=True,
+                 stripe_size=256, stripe_count=4, n_osts=4, jitter=0.0,
+                 seed=0, **net_kw):
+        self.world = World(
+            MachineConfig(nprocs=nprocs, cores_per_node=cores_per_node,
+                          mapping=mapping),
+            net_params=NetworkParams(**net_kw),
+            collective_mode=collective_mode,
+        )
+        self.fs = LustreFS(self.world.engine,
+                           LustreParams(n_osts=n_osts,
+                                        default_stripe_count=stripe_count,
+                                        default_stripe_size=stripe_size,
+                                        jitter=jitter,
+                                        store_data=store_data),
+                           seed=seed)
+        self.io = MPIIO(self.world, self.fs)
+        self.nprocs = nprocs
+
+    def run(self, program):
+        """program(comm, io) generator per rank; returns per-rank results."""
+        return self.world.launch(lambda comm: program(comm, self.io))
+
+    def file_bytes(self, name):
+        return self.fs.lookup(name).contents()
+
+
+@pytest.fixture
+def stack_factory():
+    return Stack
+
+
+def rank_pattern(rank: int, n: int) -> np.ndarray:
+    """Deterministic per-rank test bytes."""
+    return ((np.arange(n) * 31 + rank * 7 + 13) % 251).astype(np.uint8)

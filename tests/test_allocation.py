@@ -1,0 +1,98 @@
+"""Node-allocation policies and their effect on wire latency."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine, MachineConfig, NetworkModel, NetworkParams, Torus3D
+from repro.cluster.allocation import allocate, average_pairwise_hops
+from repro.errors import ConfigError
+from repro.sim import Engine
+
+
+class TestAllocate:
+    def test_linear_identity(self):
+        t = Torus3D((4, 4, 4))
+        slots = allocate("linear", 10, t)
+        np.testing.assert_array_equal(slots, np.arange(10))
+
+    def test_scattered_is_permutation_slice(self):
+        t = Torus3D((4, 4, 4))
+        slots = allocate("scattered", 20, t, seed=5)
+        assert len(set(slots.tolist())) == 20
+        assert all(0 <= s < 64 for s in slots)
+
+    def test_scattered_seed_dependent_but_reproducible(self):
+        t = Torus3D((4, 4, 4))
+        a = allocate("scattered", 16, t, seed=1)
+        b = allocate("scattered", 16, t, seed=1)
+        c = allocate("scattered", 16, t, seed=2)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_compact_unique_and_valid(self):
+        t = Torus3D((6, 6, 6))
+        slots = allocate("compact", 27, t)
+        assert len(set(slots.tolist())) == 27
+        assert all(0 <= s < t.nnodes for s in slots)
+
+    def test_compact_beats_scattered_on_hops(self):
+        t = Torus3D((8, 8, 8))
+        compact = allocate("compact", 27, t)
+        scattered = allocate("scattered", 27, t, seed=3)
+        assert (average_pairwise_hops(compact, t)
+                < average_pairwise_hops(scattered, t))
+
+    def test_invalid_inputs(self):
+        t = Torus3D((2, 2, 2))
+        with pytest.raises(ConfigError):
+            allocate("linear", 0, t)
+        with pytest.raises(ConfigError):
+            allocate("linear", 100, t)
+        with pytest.raises(ConfigError):
+            allocate("best-effort", 4, t)
+
+    def test_average_hops_trivial_cases(self):
+        t = Torus3D((4, 4, 4))
+        assert average_pairwise_hops(np.array([0]), t) == 0.0
+
+
+class TestNetworkWithAllocation:
+    def make_net(self, slots):
+        eng = Engine()
+        machine = Machine(MachineConfig(nprocs=8, cores_per_node=1))
+        topo = Torus3D((8, 1, 1))
+        params = NetworkParams(latency=1e-6, hop_latency=1e-6)
+        return NetworkModel(eng, machine, params, topology=topo,
+                            node_slots=slots)
+
+    def test_slots_change_latency(self):
+        identity = self.make_net(np.arange(8))
+        swapped = self.make_net(np.array([0, 4, 2, 3, 1, 5, 6, 7]))
+        # nodes 0 and 1: identity = 1 hop; swapped places node 1 at slot 4
+        assert identity.wire_latency(0, 1) == pytest.approx(2e-6)
+        assert swapped.wire_latency(0, 1) == pytest.approx(5e-6)
+
+    def test_short_slot_table_rejected(self):
+        with pytest.raises(ConfigError):
+            self.make_net(np.arange(4))
+
+    def test_end_to_end_scattered_slower_than_compact(self):
+        from repro.cluster.allocation import allocate
+        from repro.simmpi import World
+
+        def barrier_time(policy):
+            machine = MachineConfig(nprocs=64, cores_per_node=1)
+            topo = Torus3D((16, 16, 16))
+            slots = allocate(policy, 64, topo, seed=7)
+            world = World(machine,
+                          net_params=NetworkParams(hop_latency=2e-6),
+                          topology=topo, collective_mode="detailed")
+            world.network.node_slots = slots
+
+            def program(comm):
+                yield from comm.barrier()
+                return comm.now
+
+            return max(world.launch(program))
+
+        assert barrier_time("compact") < barrier_time("scattered")

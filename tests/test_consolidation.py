@@ -1,0 +1,143 @@
+"""Node-level consolidation: correctness and traffic reduction."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine, MachineConfig
+from repro.datatypes import BYTE, Subarray
+from repro.mpiio.consolidation import node_groups
+from tests.conftest import Stack, rank_pattern
+
+
+class TestNodeGroups:
+    def test_block_mapping_leaders(self):
+        st = Stack(nprocs=8, cores_per_node=2, mapping="block")
+        got = {}
+
+        def program(comm, io):
+            got[comm.rank] = node_groups(comm, io.world.machine)
+            return
+            yield  # pragma: no cover
+
+        st.run(program)
+        assert got[0] == (0, [0, 1])
+        assert got[1] == (0, [0, 1])
+        assert got[6] == (6, [6, 7])
+
+    def test_cyclic_mapping_leaders(self):
+        st = Stack(nprocs=8, cores_per_node=2, mapping="cyclic")
+        got = {}
+
+        def program(comm, io):
+            got[comm.rank] = node_groups(comm, io.world.machine)
+            return
+            yield  # pragma: no cover
+
+        st.run(program)
+        assert got[4] == (0, [0, 4])  # node 0 hosts ranks 0 and 4
+        assert got[7] == (3, [3, 7])
+
+
+class TestConsolidatedWrites:
+    def run_write(self, consolidation, nprocs=8, cores=4, **extra_hints):
+        st = Stack(nprocs=nprocs, cores_per_node=cores)
+        block = 256
+
+        def program(comm, io):
+            f = yield from io.open(comm, "cons", hints={
+                "protocol": "ext2ph",
+                "cb_node_consolidation": consolidation,
+                "cb_buffer_size": 512,
+                **extra_hints,
+            })
+            yield from f.write_at_all(comm.rank * block,
+                                      rank_pattern(comm.rank, block))
+            yield from f.close()
+
+        st.run(program)
+        return st
+
+    def test_bytes_identical_with_and_without(self):
+        a = self.run_write(False).file_bytes("cons")
+        b = self.run_write(True).file_bytes("cons")
+        np.testing.assert_array_equal(a, b)
+
+    def test_fewer_cross_node_messages(self):
+        # one remote aggregator: without consolidation every core talks
+        # to it across the network; with it only node leaders do
+        kw = dict(nprocs=16, cores=4, cb_config_ranks=(15,))
+        base = self.run_write(False, **kw)
+        cons = self.run_write(True, **kw)
+        assert (cons.world.network.cross_node_messages
+                < base.world.network.cross_node_messages)
+        # and the data volume does not blow up
+        assert (cons.world.network.cross_node_bytes
+                <= 1.5 * base.world.network.cross_node_bytes)
+
+    def test_tiled_pattern_correct(self):
+        st = Stack(nprocs=8, cores_per_node=4)
+        rows, cols, tr, tc = 16, 8, 4, 4
+
+        def program(comm, io):
+            pr, pc = divmod(comm.rank, 2)
+            ft = Subarray((rows, cols), (tr, tc), (pr * tr, pc * tc), BYTE)
+            f = yield from io.open(comm, "ctile", hints={
+                "protocol": "ext2ph", "cb_node_consolidation": True,
+                "cb_buffer_size": 32})
+            f.set_view(0, BYTE, ft)
+            yield from f.write_at_all(0, rank_pattern(comm.rank, tr * tc))
+            yield from f.close()
+
+        st.run(program)
+        got = st.file_bytes("ctile").reshape(rows, cols)
+        for r in range(8):
+            pr, pc = divmod(r, 2)
+            tile = got[pr * tr:(pr + 1) * tr, pc * tc:(pc + 1) * tc]
+            np.testing.assert_array_equal(tile.ravel(),
+                                          rank_pattern(r, tr * tc))
+
+    def test_with_parcoll(self):
+        st = Stack(nprocs=8, cores_per_node=2)
+        block = 128
+
+        def program(comm, io):
+            f = yield from io.open(comm, "cpc", hints={
+                "protocol": "parcoll", "parcoll_ngroups": 2,
+                "cb_node_consolidation": True})
+            yield from f.write_at_all(comm.rank * block,
+                                      rank_pattern(comm.rank, block))
+            yield from f.close()
+
+        st.run(program)
+        got = st.file_bytes("cpc")
+        ref = np.concatenate([rank_pattern(r, block) for r in range(8)])
+        np.testing.assert_array_equal(got, ref)
+
+    def test_model_mode(self):
+        st = Stack(nprocs=8, cores_per_node=4, store_data=False)
+        block = 1 << 14
+
+        def program(comm, io):
+            f = yield from io.open(comm, "cm", hints={
+                "protocol": "ext2ph", "cb_node_consolidation": True})
+            n = yield from f.write_at_all(comm.rank * block, nbytes=block)
+            yield from f.close()
+            return n
+
+        assert st.run(program) == [block] * 8
+        assert st.fs.lookup("cm").tracker.is_fully_covered(0, 8 * block)
+
+    def test_single_core_nodes_degenerate_cleanly(self):
+        st = Stack(nprocs=4, cores_per_node=1)
+        block = 64
+
+        def program(comm, io):
+            f = yield from io.open(comm, "c1", hints={
+                "protocol": "ext2ph", "cb_node_consolidation": True})
+            yield from f.write_at_all(comm.rank * block,
+                                      rank_pattern(comm.rank, block))
+            yield from f.close()
+
+        st.run(program)
+        ref = np.concatenate([rank_pattern(r, block) for r in range(4)])
+        np.testing.assert_array_equal(st.file_bytes("c1"), ref)

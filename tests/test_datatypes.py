@@ -1,0 +1,256 @@
+"""Unit tests for derived datatypes and their flattened forms."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import (BYTE, DOUBLE, INT, Contiguous, HIndexed, HVector,
+                             Indexed, Resized, Struct, Subarray, Vector,
+                             coalesce)
+from repro.datatypes.flatten import intersect_range, replicate, total_bytes
+from repro.errors import DatatypeError
+
+
+def segs(dtype):
+    o, l = dtype.segments()
+    return list(zip(o.tolist(), l.tolist()))
+
+
+class TestPrimitives:
+    def test_sizes(self):
+        assert BYTE.size == 1
+        assert INT.size == 4
+        assert DOUBLE.size == 8
+
+    def test_segments(self):
+        assert segs(DOUBLE) == [(0, 8)]
+
+    def test_is_contiguous(self):
+        assert DOUBLE.is_contiguous
+
+
+class TestContiguous:
+    def test_merges_to_one_run(self):
+        t = Contiguous(10, INT)
+        assert t.size == 40
+        assert t.extent == 40
+        assert segs(t) == [(0, 40)]
+        assert t.is_contiguous
+
+    def test_zero_count(self):
+        t = Contiguous(0, INT)
+        assert t.size == 0
+        assert segs(t) == []
+
+    def test_nested(self):
+        t = Contiguous(3, Contiguous(2, DOUBLE))
+        assert t.size == 48
+        assert segs(t) == [(0, 48)]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DatatypeError):
+            Contiguous(-1, INT)
+
+
+class TestVector:
+    def test_strided_blocks(self):
+        # 3 blocks of 2 ints, stride 4 ints
+        t = Vector(3, 2, 4, INT)
+        assert t.size == 24
+        assert segs(t) == [(0, 8), (16, 8), (32, 8)]
+        assert t.extent == (2 * 4 + 2) * 4
+
+    def test_stride_equal_blocklength_is_contiguous(self):
+        t = Vector(4, 2, 2, INT)
+        assert segs(t) == [(0, 32)]
+
+    def test_single_count(self):
+        t = Vector(1, 5, 100, INT)
+        assert segs(t) == [(0, 20)]
+        assert t.extent == 20
+
+    def test_hvector_byte_stride(self):
+        t = HVector(3, 1, 10, INT)
+        assert segs(t) == [(0, 4), (10, 4), (20, 4)]
+        assert t.extent == 24
+
+
+class TestIndexed:
+    def test_basic(self):
+        t = Indexed([2, 1], [0, 5], INT)
+        assert t.size == 12
+        assert segs(t) == [(0, 8), (20, 4)]
+
+    def test_unsorted_displacements_are_sorted_in_segments(self):
+        t = Indexed([1, 1], [5, 0], INT)
+        assert segs(t) == [(0, 4), (20, 4)]
+
+    def test_adjacent_blocks_merge(self):
+        t = Indexed([2, 2], [0, 2], INT)
+        assert segs(t) == [(0, 16)]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DatatypeError):
+            Indexed([1, 2], [0], INT)
+
+    def test_hindexed_byte_displacements(self):
+        t = HIndexed([1, 1], [0, 100], DOUBLE)
+        assert segs(t) == [(0, 8), (100, 8)]
+        assert t.extent == 108
+
+
+class TestStruct:
+    def test_mixed_types(self):
+        t = Struct([1, 2], [0, 8], [INT, DOUBLE])
+        assert t.size == 4 + 16
+        assert segs(t) == [(0, 4), (8, 16)]
+        assert t.extent == 24
+
+    def test_length_mismatch(self):
+        with pytest.raises(DatatypeError):
+            Struct([1], [0, 8], [INT])
+
+
+class TestSubarray:
+    def test_2d_tile(self):
+        # 4x6 global array of bytes, 2x3 tile at (1, 2)
+        t = Subarray((4, 6), (2, 3), (1, 2), BYTE)
+        assert t.size == 6
+        assert t.extent == 24  # full array
+        assert segs(t) == [(8, 3), (14, 3)]
+
+    def test_full_array_is_contiguous(self):
+        t = Subarray((4, 6), (4, 6), (0, 0), BYTE)
+        assert segs(t) == [(0, 24)]
+
+    def test_rows_merge_when_tile_spans_width(self):
+        t = Subarray((4, 6), (2, 6), (1, 0), BYTE)
+        assert segs(t) == [(6, 12)]
+
+    def test_3d(self):
+        t = Subarray((2, 3, 4), (1, 2, 2), (1, 1, 1), BYTE)
+        # element offsets: z=1 plane (offset 12), rows y=1,2 starting x=1
+        assert segs(t) == [(17, 2), (21, 2)]
+
+    def test_fortran_order(self):
+        # 4x6 (rows x cols) in F order: columns contiguous
+        t = Subarray((6, 4), (3, 2), (2, 1), BYTE, order="F")
+        # F-order: axis 0 fastest; column j=1 and j=2, rows 2..4
+        assert t.size == 6
+        o, l = t.segments()
+        assert l.sum() == 6
+
+    def test_matches_numpy_reference(self):
+        rng = np.random.default_rng(42)
+        shape, subsizes, starts = (5, 7, 3), (2, 4, 2), (1, 2, 0)
+        t = Subarray(shape, subsizes, starts, BYTE)
+        buf = rng.integers(0, 256, size=np.prod(shape), dtype=np.uint8)
+        arr = buf.reshape(shape)
+        expected = arr[1:3, 2:6, 0:2].ravel()
+        from repro.datatypes import gather_segments
+
+        o, l = t.segments()
+        np.testing.assert_array_equal(gather_segments(buf, o, l), expected)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(DatatypeError):
+            Subarray((4,), (3,), (2,), BYTE)  # 2+3 > 4
+        with pytest.raises(DatatypeError):
+            Subarray((4, 4), (2,), (0,), BYTE)
+        with pytest.raises(DatatypeError):
+            Subarray((4,), (2,), (0,), BYTE, order="X")
+
+
+class TestResized:
+    def test_extent_override(self):
+        t = Resized(Contiguous(2, INT), lb=0, extent=32)
+        assert t.size == 8
+        assert t.extent == 32
+        assert segs(t) == [(0, 8)]
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(DatatypeError):
+            Resized(INT, 0, -1)
+
+
+class TestFlattenHelpers:
+    def test_coalesce_merges_adjacent(self):
+        o, l = coalesce([0, 4, 10], [4, 4, 2])
+        assert o.tolist() == [0, 10]
+        assert l.tolist() == [8, 2]
+
+    def test_coalesce_merges_overlapping(self):
+        o, l = coalesce([0, 2], [4, 4])
+        assert o.tolist() == [0]
+        assert l.tolist() == [6]
+
+    def test_coalesce_drops_zero_length(self):
+        o, l = coalesce([0, 5, 9], [2, 0, 1])
+        assert o.tolist() == [0, 9]
+        assert l.tolist() == [2, 1]
+
+    def test_coalesce_contained_segment(self):
+        o, l = coalesce([0, 2], [10, 3])
+        assert o.tolist() == [0]
+        assert l.tolist() == [10]
+
+    def test_replicate(self):
+        base = (np.array([0], dtype=np.int64), np.array([2], dtype=np.int64))
+        o, l = replicate(base, [0, 10, 20])
+        assert o.tolist() == [0, 10, 20]
+        assert l.tolist() == [2, 2, 2]
+
+    def test_intersect_range(self):
+        segments = (np.array([0, 10, 20], dtype=np.int64),
+                    np.array([5, 5, 5], dtype=np.int64))
+        o, l = intersect_range(segments, 3, 22)
+        assert o.tolist() == [3, 10, 20]
+        assert l.tolist() == [2, 5, 2]
+
+    def test_intersect_range_empty(self):
+        segments = (np.array([0], dtype=np.int64), np.array([5], dtype=np.int64))
+        o, l = intersect_range(segments, 100, 200)
+        assert o.size == 0
+
+    def test_total_bytes(self):
+        t = Vector(3, 2, 4, INT)
+        assert total_bytes(t.segments()) == t.size
+
+
+class TestPacking:
+    def test_gather_scatter_roundtrip_slices(self):
+        buf = np.arange(100, dtype=np.uint8)
+        offs = np.array([10, 50], dtype=np.int64)
+        lens = np.array([20, 30], dtype=np.int64)
+        from repro.datatypes import gather_segments, scatter_segments
+
+        packed = gather_segments(buf, offs, lens)
+        assert packed.size == 50
+        out = np.zeros(100, dtype=np.uint8)
+        scatter_segments(out, offs, lens, packed)
+        np.testing.assert_array_equal(out[10:30], buf[10:30])
+        np.testing.assert_array_equal(out[50:80], buf[50:80])
+        assert out[0:10].sum() == 0
+
+    def test_gather_fancy_path_many_small_segments(self):
+        from repro.datatypes import gather_segments
+
+        buf = np.arange(256, dtype=np.uint8)
+        offs = np.arange(0, 256, 8, dtype=np.int64)
+        lens = np.full(32, 2, dtype=np.int64)
+        packed = gather_segments(buf, offs, lens)
+        expected = np.concatenate([buf[o:o + 2] for o in offs])
+        np.testing.assert_array_equal(packed, expected)
+
+    def test_scatter_size_mismatch_rejected(self):
+        from repro.datatypes import scatter_segments
+
+        buf = np.zeros(10, dtype=np.uint8)
+        with pytest.raises(DatatypeError):
+            scatter_segments(buf, [0], [5], np.zeros(3, dtype=np.uint8))
+
+    def test_out_of_bounds_rejected(self):
+        from repro.datatypes import gather_segments
+
+        buf = np.zeros(10, dtype=np.uint8)
+        with pytest.raises(DatatypeError):
+            gather_segments(buf, [8], [5])

@@ -1,0 +1,161 @@
+"""Failure injection and error-path behaviour across the I/O stack."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError, MPIIOError
+from tests.conftest import Stack, rank_pattern
+
+
+class TestOverlappingWriters:
+    def test_overlapping_collective_write_raises(self):
+        """Two ranks writing the same bytes violate collective semantics."""
+        st = Stack(nprocs=2)
+
+        def program(comm, io):
+            f = yield from io.open(comm, "clash")
+            # both ranks write [0, 64)
+            yield from f.write_at_all(0, rank_pattern(comm.rank, 64))
+            yield from f.close()
+
+        with pytest.raises(MPIIOError, match="disjoint"):
+            st.run(program)
+
+    def test_partial_overlap_also_detected(self):
+        st = Stack(nprocs=2)
+
+        def program(comm, io):
+            f = yield from io.open(comm, "clash2")
+            yield from f.write_at_all(comm.rank * 32,
+                                      rank_pattern(comm.rank, 64))
+            yield from f.close()
+
+        with pytest.raises(MPIIOError, match="disjoint"):
+            st.run(program)
+
+
+class TestProtocolMisuse:
+    def test_mismatched_collective_participation_diagnosed(self):
+        """One rank skipping a collective call is caught as a call
+        mismatch (analytic mode) — not silent corruption."""
+        from repro.errors import MPIError
+
+        st = Stack(nprocs=4)
+
+        def program(comm, io):
+            f = yield from io.open(comm, "skip")
+            if comm.rank != 2:  # rank 2 'forgets' the collective write
+                yield from f.write_at_all(comm.rank * 16,
+                                          rank_pattern(comm.rank, 16))
+            yield from f.close()
+
+        with pytest.raises(MPIError, match="mismatch"):
+            st.run(program)
+
+    def test_mismatched_collectives_deadlock_in_detailed_mode(self):
+        """The same bug in detailed mode hangs — and the engine names
+        the blocked ranks instead of spinning forever."""
+        st = Stack(nprocs=4, collective_mode="detailed")
+
+        def program(comm, io):
+            if comm.rank != 1:
+                yield from comm.barrier()
+            yield from comm.allreduce(1)
+
+        with pytest.raises((DeadlockError, Exception)):
+            st.run(program)
+
+    def test_negative_offset_rejected(self):
+        st = Stack(nprocs=2)
+
+        def program(comm, io):
+            f = yield from io.open(comm, "neg")
+            yield from f.write_at_all(-1, rank_pattern(0, 4))
+
+        with pytest.raises(MPIIOError):
+            st.run(program)
+
+    def test_write_all_non_multiple_of_etype(self):
+        from repro.datatypes import DOUBLE
+
+        st = Stack(nprocs=2)
+
+        def program(comm, io):
+            f = yield from io.open(comm, "etype")
+            f.set_view(0, DOUBLE, DOUBLE)
+            yield from f.write_all(np.zeros(5, dtype=np.uint8))  # 5 % 8
+
+        with pytest.raises(MPIIOError):
+            st.run(program)
+
+    def test_model_access_without_nbytes(self):
+        st = Stack(nprocs=2, store_data=False)
+
+        def program(comm, io):
+            f = yield from io.open(comm, "nb")
+            yield from f.write_at_all(0)  # neither data nor nbytes
+
+        with pytest.raises(MPIIOError):
+            st.run(program)
+
+
+class TestHintEdgeCases:
+    def test_more_groups_than_ranks_clamped(self):
+        st = Stack(nprocs=4)
+
+        def program(comm, io):
+            f = yield from io.open(comm, "clamp", hints={
+                "protocol": "parcoll", "parcoll_ngroups": 64})
+            yield from f.write_at_all(comm.rank * 32,
+                                      rank_pattern(comm.rank, 32))
+            yield from f.close()
+
+        st.run(program)  # must not deadlock or crash
+        got = st.file_bytes("clamp")
+        assert got.size == 128
+
+    def test_single_rank_parcoll(self):
+        st = Stack(nprocs=1)
+
+        def program(comm, io):
+            f = yield from io.open(comm, "solo", hints={
+                "protocol": "parcoll", "parcoll_ngroups": 8})
+            yield from f.write_at_all(0, rank_pattern(0, 100))
+            yield from f.close()
+
+        st.run(program)
+        np.testing.assert_array_equal(st.file_bytes("solo"),
+                                      rank_pattern(0, 100))
+
+    def test_replan_always_tolerates_pattern_changes(self):
+        st = Stack(nprocs=4)
+
+        def program(comm, io):
+            f = yield from io.open(comm, "replan", hints={
+                "protocol": "parcoll", "parcoll_ngroups": 2,
+                "parcoll_replan": "always"})
+            # sizes change call to call
+            for step, n in enumerate((32, 64, 16)):
+                yield from f.write_at_all(1000 * step + comm.rank * n,
+                                          rank_pattern(comm.rank + step, n))
+            yield from f.close()
+
+        st.run(program)
+        got = st.file_bytes("replan")
+        np.testing.assert_array_equal(got[2000:2016], rank_pattern(2, 16))
+
+    def test_set_hints_mid_file(self):
+        st = Stack(nprocs=4)
+
+        def program(comm, io):
+            f = yield from io.open(comm, "switch")
+            yield from f.write_at_all(comm.rank * 32,
+                                      rank_pattern(comm.rank, 32))
+            f.set_hints(protocol="parcoll", parcoll_ngroups=2)
+            yield from f.write_at_all(128 + comm.rank * 32,
+                                      rank_pattern(comm.rank + 1, 32))
+            yield from f.close()
+
+        st.run(program)
+        got = st.file_bytes("switch")
+        np.testing.assert_array_equal(got[128:160], rank_pattern(1, 32))

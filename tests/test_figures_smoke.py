@@ -1,0 +1,77 @@
+"""Smoke tests: every figure function runs at a tiny scale and returns a
+well-formed FigureResult with the claimed structure (full-scale shape
+assertions live in benchmarks/)."""
+
+import pytest
+
+from repro.harness import figures
+
+
+def check_result(result, min_rows=1):
+    assert result.figure.startswith("Figure")
+    assert result.headers
+    assert len(result.rows) >= min_rows
+    text = result.to_table()
+    assert result.title in text
+    for h in result.headers:
+        assert h in text
+
+
+def test_fig01_smoke():
+    r = figures.fig01_collective_wall(procs=(4, 8))
+    check_result(r, min_rows=2)
+    assert set(r.series["sync_share"]) == {4, 8}
+
+
+def test_fig02_smoke():
+    r = figures.fig02_breakdown(procs=(4, 8))
+    check_result(r, min_rows=2)
+    for cat in ("sync", "exchange", "io"):
+        assert set(r.series[cat]) == {4, 8}
+
+
+def test_fig05_smoke():
+    r = figures.fig05_aggregator_distribution()
+    check_result(r, min_rows=4)
+
+
+def test_fig06_smoke():
+    r = figures.fig06_ior(procs=(4,), group_counts=(2,))
+    check_result(r, min_rows=2)
+    assert "Cray (ext2ph)" in r.series
+    assert "ParColl-2" in r.series
+
+
+def test_fig07_smoke():
+    r = figures.fig07_tileio_groups(nprocs=4, group_counts=(1, 2),
+                                    include_read=False)
+    check_result(r, min_rows=2)
+    assert set(r.series["write"]) == {1, 2}
+
+
+def test_fig08_smoke():
+    r = figures.fig08_sync_reduction(nprocs=4, group_counts=(1, 2))
+    check_result(r, min_rows=2)
+
+
+def test_fig09_smoke():
+    r = figures.fig09_scalability(procs=(4, 8))
+    check_result(r, min_rows=2)
+    assert set(r.series["baseline"]) == {4, 8}
+
+
+def test_fig10_smoke():
+    r = figures.fig10_btio(procs=(4,))
+    check_result(r, min_rows=1)
+
+
+def test_fig11_smoke():
+    r = figures.fig11_flashio(nprocs=8, ngroups=2)
+    check_result(r, min_rows=5)
+    assert "Cray w/o Coll" in r.series
+
+
+def test_cli_figures_all_registered():
+    from repro.cli import FIGURES
+
+    assert set(FIGURES) == {"1", "2", "5", "6", "7", "8", "9", "10", "11"}

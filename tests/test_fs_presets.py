@@ -1,0 +1,94 @@
+"""File-system presets and the seek-on-writes behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.lustre import LustreFS, LustreParams, preset
+from repro.lustre.presets import PRESET_NAMES
+from repro.sim import Engine
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", PRESET_NAMES)
+    def test_presets_construct(self, name):
+        p = preset(name)
+        assert p.n_osts > 0
+        assert p.default_stripe_count <= p.n_osts
+
+    def test_lustre_xt_matches_paper_testbed(self):
+        p = preset("lustre_xt")
+        assert p.n_osts == 72
+        assert p.default_stripe_count == 64
+        assert p.default_stripe_size == 4 << 20
+        assert p.lock_revoke_cost > 0
+
+    def test_pvfs_has_no_locks(self):
+        p = preset("pvfs_like")
+        assert p.lock_grant_cost == 0.0
+        assert p.lock_revoke_cost == 0.0
+        assert p.seek_on_writes
+
+    def test_gpfs_tokens_cheap_grant_expensive_steal(self):
+        p = preset("gpfs_like")
+        assert p.lock_grant_cost < preset("lustre_xt").lock_grant_cost
+        assert p.lock_revoke_cost > preset("lustre_xt").lock_revoke_cost
+
+    def test_overrides_apply(self):
+        p = preset("lustre_xt", store_data=False, n_osts=8,
+                   default_stripe_count=8)
+        assert not p.store_data
+        assert p.n_osts == 8
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            preset("zfs")
+
+
+class TestSeekOnWrites:
+    def run_interleaved_writes(self, seek_on_writes):
+        eng = Engine()
+        fs = LustreFS(eng, LustreParams(
+            n_osts=1, default_stripe_count=1, default_stripe_size=1 << 20,
+            jitter=0.0, client_overhead=0.0, mds_op_cost=0.0,
+            ost_seek_cost=10e-3, seek_on_writes=seek_on_writes,
+            lock_grant_cost=0.0, lock_revoke_cost=0.0))
+
+        def prog():
+            f = yield from fs.open("s")
+            # two clients ping-pong non-sequential writes
+            for i in range(4):
+                client = i % 2
+                offset = (3 - i) * 1000  # descending: never sequential
+                yield from fs.write(f, client, [offset], [100],
+                                    data=np.zeros(100, np.uint8))
+            return eng.now
+
+        (t,) = eng.run_tasks([prog()])
+        return t
+
+    def test_writes_seek_free_by_default(self):
+        t_off = self.run_interleaved_writes(False)
+        t_on = self.run_interleaved_writes(True)
+        assert t_on > t_off + 3 * 10e-3  # ~one seek per non-sequential write
+
+    def test_reads_always_pay_seeks(self):
+        eng = Engine()
+        fs = LustreFS(eng, LustreParams(
+            n_osts=1, default_stripe_count=1, default_stripe_size=1 << 20,
+            jitter=0.0, client_overhead=0.0, mds_op_cost=0.0,
+            ost_seek_cost=10e-3, lock_grant_cost=0.0, lock_revoke_cost=0.0))
+
+        def prog():
+            f = yield from fs.open("r")
+            yield from fs.write(f, 0, [0], [4000],
+                                data=np.zeros(4000, np.uint8))
+            t0 = eng.now
+            yield from fs.read(f, 0, [3000], [100])  # non-sequential
+            first = eng.now - t0
+            t0 = eng.now
+            yield from fs.read(f, 0, [3100], [100])  # sequential follow-on
+            second = eng.now - t0
+            return first, second
+
+        ((first, second),) = eng.run_tasks([prog()])
+        assert first > second + 5e-3

@@ -1,0 +1,130 @@
+"""File views: data-space to file-space mapping."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import BYTE, Contiguous, DOUBLE, INT, Subarray, Vector
+from repro.errors import MPIIOError
+from repro.mpiio import FileView
+
+
+def view_segs(view, lo, hi):
+    o, l = view.segments_for(lo, hi)
+    return list(zip(o.tolist(), l.tolist()))
+
+
+class TestByteView:
+    def test_identity_view(self):
+        v = FileView()
+        assert view_segs(v, 0, 100) == [(0, 100)]
+        assert view_segs(v, 10, 30) == [(10, 20)]
+
+    def test_displacement_shifts(self):
+        v = FileView(disp=1000)
+        assert view_segs(v, 0, 50) == [(1000, 50)]
+
+    def test_empty_range(self):
+        v = FileView()
+        o, l = v.segments_for(5, 5)
+        assert o.size == 0
+
+    def test_invalid_range(self):
+        v = FileView()
+        with pytest.raises(MPIIOError):
+            v.segments_for(-1, 5)
+        with pytest.raises(MPIIOError):
+            v.segments_for(10, 5)
+
+
+class TestStridedView:
+    def test_vector_filetype_tiles(self):
+        # filetype: 2 bytes data, 6-byte extent (stride 3 of 2-byte blocks)
+        ft = Vector(2, 2, 3, BYTE)  # blocks at 0 and 3, extent 8? check below
+        v = FileView(0, BYTE, ft)
+        # one tile: data bytes 0..4 at file 0..2,3..5
+        assert view_segs(v, 0, 4) == [(0, 2), (3, 2)]
+        # second tile starts at extent
+        e = ft.extent
+        assert view_segs(v, 4, 8) == [(e, 2), (e + 3, 2)]
+
+    def test_partial_head_and_tail(self):
+        ft = Vector(2, 2, 3, BYTE)
+        v = FileView(0, BYTE, ft)
+        # data bytes 1..3: second half of block 0, first half of block 1
+        assert view_segs(v, 1, 3) == [(1, 1), (3, 1)]
+
+    def test_range_spanning_many_tiles(self):
+        # extent 5 makes each tile's last block touch the next tile's
+        # first block, so the cross-tile segments coalesce
+        ft = Vector(2, 2, 3, BYTE)  # 4 data bytes per tile, extent 5
+        v = FileView(0, BYTE, ft)
+        segs = view_segs(v, 2, 10)
+        assert segs == [(3, 4), (8, 4)]
+
+    def test_total_data_bytes_preserved(self):
+        ft = Vector(3, 5, 11, INT)
+        v = FileView(64, INT, ft)
+        for lo, hi in [(0, 60), (7, 133), (60, 180), (1, 2)]:
+            o, l = v.segments_for(lo, hi)
+            assert l.sum() == hi - lo
+
+
+class TestSubarrayView:
+    def test_tile_io_style_view(self):
+        # 2D array 8x8 bytes; this process owns the 4x4 tile at (0, 4)
+        ft = Subarray((8, 8), (4, 4), (0, 4), BYTE)
+        v = FileView(0, BYTE, ft)
+        segs = view_segs(v, 0, 16)
+        assert segs == [(4, 4), (12, 4), (20, 4), (28, 4)]
+
+    def test_etype_double(self):
+        ft = Subarray((4, 4), (2, 2), (1, 1), DOUBLE)
+        v = FileView(0, DOUBLE, ft)
+        # offset in etype units: 1 double = skip 8 data bytes
+        o, l = v.segments_for(8, 32)
+        assert l.sum() == 24
+
+
+class TestViewValidation:
+    def test_etype_filetype_mismatch(self):
+        with pytest.raises(MPIIOError):
+            FileView(0, DOUBLE, Contiguous(3, BYTE))  # 3 % 8 != 0
+
+    def test_negative_disp(self):
+        with pytest.raises(MPIIOError):
+            FileView(-5)
+
+    def test_data_extent(self):
+        ft = Vector(2, 2, 3, BYTE)
+        v = FileView(100, BYTE, ft)
+        lo, hi = v.data_extent(0, 4)
+        assert lo == 100
+        assert hi == 105
+
+    def test_is_contiguous(self):
+        assert FileView().is_contiguous
+        assert not FileView(8).is_contiguous
+        assert not FileView(0, BYTE, Vector(2, 1, 3, BYTE)).is_contiguous
+
+
+class TestViewAgainstNumpyReference:
+    def test_random_subarray_views_match(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            rows, cols = rng.integers(2, 12, 2)
+            sr, sc = rng.integers(1, rows + 1), rng.integers(1, cols + 1)
+            r0 = rng.integers(0, rows - sr + 1)
+            c0 = rng.integers(0, cols - sc + 1)
+            ft = Subarray((rows, cols), (sr, sc), (r0, c0), BYTE)
+            v = FileView(0, BYTE, ft)
+            total = sr * sc
+            lo = int(rng.integers(0, total))
+            hi = int(rng.integers(lo, total + 1))
+            o, l = v.segments_for(lo, hi)
+            # reference: element positions of the tile in row-major order
+            positions = np.arange(rows * cols).reshape(rows, cols)
+            flat = positions[r0:r0 + sr, c0:c0 + sc].ravel()[lo:hi]
+            covered = np.concatenate(
+                [np.arange(off, off + ln) for off, ln in zip(o, l)]
+            ) if o.size else np.empty(0, np.int64)
+            np.testing.assert_array_equal(np.sort(flat), covered)

@@ -1,0 +1,97 @@
+"""Aggregator distribution: the paper's Figure 5 worked examples + invariants."""
+
+import pytest
+
+from repro.cluster import Machine, MachineConfig
+from repro.errors import ParCollError
+from repro.parcoll import distribute_aggregators
+
+
+def machine(mapping):
+    return Machine(MachineConfig(nprocs=8, cores_per_node=2, mapping=mapping))
+
+
+GROUPS = [[0, 1, 2, 3], [4, 5, 6, 7]]
+WORLD = list(range(8))
+
+
+class TestFigure5:
+    def test_block_mapping_four_aggregators(self):
+        """Figure 5, block column: aggregators N0..N3 = P0,P2,P4,P6.
+
+        Expected: SubGroup1 gets N0(P0), N1(P2); SubGroup2 gets N2(P4),
+        N3(P6).
+        """
+        m = machine("block")
+        out = distribute_aggregators(GROUPS, [0, 2, 4, 6], WORLD, m)
+        assert out == [[0, 2], [4, 6]]
+
+    def test_cyclic_mapping_three_aggregators(self):
+        """Figure 5, cyclic column: aggregators on N0, N2, N3 (P0, P2, P3).
+
+        Expected: SubGroup1 gets N0(P0) and N3(P3); SubGroup2 gets N2(P6).
+        """
+        m = machine("cyclic")
+        out = distribute_aggregators(GROUPS, [0, 2, 3], WORLD, m)
+        assert out == [[0, 3], [6]]
+
+
+class TestRequirements:
+    def test_every_group_gets_at_least_one(self):
+        # aggregator nodes all live in group 0's half (block mapping)
+        m = machine("block")
+        out = distribute_aggregators(GROUPS, [0, 2], WORLD, m)
+        assert out[0]  # got real slots
+        assert out[1] == [4]  # fallback: lowest member
+
+    def test_no_node_split_across_groups(self):
+        m = machine("cyclic")
+        out = distribute_aggregators(GROUPS, [0, 1, 2, 3], WORLD, m)
+        nodes_per_group = [
+            {m.node_of_rank(WORLD[r]) for r in aggs} for aggs in out
+        ]
+        assert nodes_per_group[0].isdisjoint(nodes_per_group[1])
+
+    def test_even_distribution(self):
+        m = machine("block")
+        out = distribute_aggregators(GROUPS, [0, 2, 4, 6], WORLD, m)
+        assert abs(len(out[0]) - len(out[1])) <= 1
+
+    def test_aggregator_is_member_of_its_group(self):
+        for mapping in ("block", "cyclic"):
+            m = machine(mapping)
+            out = distribute_aggregators(GROUPS, [0, 1, 2, 3], WORLD, m)
+            for gi, aggs in enumerate(out):
+                for a in aggs:
+                    assert a in GROUPS[gi]
+
+    def test_four_groups_two_aggregator_nodes(self):
+        m = machine("block")
+        groups = [[0, 1], [2, 3], [4, 5], [6, 7]]
+        out = distribute_aggregators(groups, [0, 4], WORLD, m)
+        # groups 1 and 3 have no aggregator node: fall back to lowest member
+        assert out == [[0], [2], [4], [6]]
+
+    def test_duplicate_nodes_in_agg_list_deduplicated(self):
+        m = machine("block")
+        # ranks 0 and 1 share node 0
+        out = distribute_aggregators(GROUPS, [0, 1, 4], WORLD, m)
+        assert out == [[0], [4]]
+
+    def test_empty_inputs_rejected(self):
+        m = machine("block")
+        with pytest.raises(ParCollError):
+            distribute_aggregators([], [0], WORLD, m)
+        with pytest.raises(ParCollError):
+            distribute_aggregators([[0], []], [0], WORLD, m)
+        with pytest.raises(ParCollError):
+            distribute_aggregators(GROUPS, [], WORLD, m)
+
+    def test_many_groups_round_robin_order(self):
+        # 16 ranks, 8 nodes, 4 groups, all 8 node slots available
+        m = Machine(MachineConfig(nprocs=16, cores_per_node=2, mapping="block"))
+        groups = [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11], [12, 13, 14, 15]]
+        out = distribute_aggregators(groups, [0, 2, 4, 6, 8, 10, 12, 14],
+                                     list(range(16)), m)
+        assert [len(a) for a in out] == [2, 2, 2, 2]
+        assert out == [[0, 2], [4, 6], [8, 10], [12, 14]]

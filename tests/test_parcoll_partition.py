@@ -1,0 +1,141 @@
+"""File Area partitioning and pattern classification."""
+
+import pytest
+
+from repro.errors import ParCollError
+from repro.parcoll import plan_partition
+
+
+def serial_extents(n, block):
+    """Pattern (a): rank r owns [r*block, (r+1)*block)."""
+    return [(r * block, (r + 1) * block, block) for r in range(n)]
+
+
+def tiled_extents(rows, cols, tile_rows, tile_cols, row_bytes):
+    """Pattern (b): 2-D tile extents that intersect within a tile-row."""
+    out = []
+    for pr in range(rows):
+        for pc in range(cols):
+            lo = pr * tile_rows * row_bytes + pc * tile_cols
+            hi = (pr * tile_rows + tile_rows - 1) * row_bytes \
+                + pc * tile_cols + tile_cols
+            out.append((lo, hi, tile_rows * tile_cols))
+    return out
+
+
+class TestDirectPartition:
+    def test_serial_pattern_splits_evenly(self):
+        plan = plan_partition(serial_extents(8, 100), 4)
+        assert plan.mode == "direct"
+        assert plan.ngroups == 4
+        assert plan.group_of == (0, 0, 1, 1, 2, 2, 3, 3)
+        assert plan.fa_bounds == ((0, 200), (200, 400), (400, 600), (600, 800))
+
+    def test_single_group_is_identity(self):
+        plan = plan_partition(serial_extents(4, 10), 1)
+        assert plan.ngroups == 1
+        assert plan.group_of == (0, 0, 0, 0)
+        assert plan.fa_bounds == ((0, 40),)
+
+    def test_groups_clamped_to_active_ranks(self):
+        plan = plan_partition(serial_extents(3, 10), 8)
+        assert plan.ngroups == 3
+
+    def test_unsorted_ranks_grouped_by_offset(self):
+        # rank order reversed relative to file order
+        extents = [(200, 300, 100), (100, 200, 100), (0, 100, 100)]
+        plan = plan_partition(extents, 3)
+        assert plan.mode == "direct"
+        # rank 2 owns the first FA
+        assert plan.group_of[2] == 0
+        assert plan.group_of[0] == 2
+
+    def test_tile_rows_form_disjoint_fas(self):
+        # 4x4 grid of tiles; grouping by tile-rows gives 4 disjoint FAs
+        extents = tiled_extents(4, 4, 2, 8, 64)
+        plan = plan_partition(extents, 4)
+        assert plan.mode == "direct"
+        assert plan.ngroups == 4
+        for g in range(3):
+            assert plan.fa_bounds[g][1] <= plan.fa_bounds[g + 1][0]
+        # each group is one row of 4 tiles
+        assert plan.group_of == (0,) * 4 + (1,) * 4 + (2,) * 4 + (3,) * 4
+
+    def test_idle_ranks_distributed(self):
+        extents = serial_extents(4, 100) + [(-1, -1, 0), (-1, -1, 0)]
+        plan = plan_partition(extents, 2)
+        assert plan.ngroups == 2
+        assert all(0 <= g < 2 for g in plan.group_of)
+
+    def test_all_idle_single_group(self):
+        plan = plan_partition([(-1, -1, 0)] * 4, 4)
+        assert plan.ngroups == 1
+        assert plan.mode == "direct"
+
+    def test_uneven_bytes_balanced(self):
+        # one big rank, several small: big one alone in a group
+        extents = [(0, 1000, 1000)] + [(1000 + i * 10, 1010 + i * 10, 10)
+                                       for i in range(6)]
+        plan = plan_partition(extents, 2)
+        assert plan.ngroups == 2
+        assert plan.group_of[0] == 0
+        assert all(g == 1 for g in plan.group_of[1:])
+
+
+class TestIntermediateSwitch:
+    def interleaved_extents(self, n, nseg, seg):
+        """Pattern (c): every rank's segments spread across the file."""
+        out = []
+        for r in range(n):
+            lo = r * seg
+            hi = (nseg - 1) * n * seg + r * seg + seg
+            out.append((lo, hi, nseg * seg))
+        return out
+
+    def test_interleaved_switches_to_intermediate(self):
+        plan = plan_partition(self.interleaved_extents(8, 4, 10), 4)
+        assert plan.mode == "intermediate"
+        assert plan.ngroups == 4
+        assert plan.logical_prefix is not None
+
+    def test_logical_prefix_is_rank_order_concatenation(self):
+        plan = plan_partition(self.interleaved_extents(4, 4, 10), 2)
+        assert plan.logical_prefix == (0, 40, 80, 120)
+        assert plan.fa_bounds == ((0, 80), (80, 160))
+
+    def test_logical_fas_disjoint_always(self):
+        plan = plan_partition(self.interleaved_extents(16, 8, 7), 5)
+        for g in range(plan.ngroups - 1):
+            assert plan.fa_bounds[g][1] <= plan.fa_bounds[g + 1][0]
+
+    def test_disabled_intermediate_merges_groups(self):
+        plan = plan_partition(self.interleaved_extents(8, 4, 10), 4,
+                              allow_intermediate=False)
+        assert plan.mode == "direct"
+        # fully interleaved pattern collapses to one group
+        assert plan.ngroups == 1
+
+    def test_partial_overlap_merges_only_neighbours(self):
+        # two disjoint clusters, each internally interleaved
+        cluster1 = [(0, 100, 30), (10, 110, 30)]
+        cluster2 = [(500, 600, 30), (510, 610, 30)]
+        plan = plan_partition(cluster1 + cluster2, 4,
+                              allow_intermediate=False)
+        assert plan.mode == "direct"
+        assert plan.ngroups == 2
+
+
+class TestValidation:
+    def test_bad_ngroups(self):
+        with pytest.raises(ParCollError):
+            plan_partition(serial_extents(4, 10), 0)
+
+    def test_plan_is_deterministic(self):
+        e = serial_extents(16, 33)
+        assert plan_partition(e, 5) == plan_partition(e, 5)
+
+    def test_cache_key_distinguishes_modes(self):
+        direct = plan_partition(serial_extents(8, 10), 2)
+        inter = plan_partition(
+            TestIntermediateSwitch().interleaved_extents(8, 2, 10), 2)
+        assert direct.cache_key() != inter.cache_key()

@@ -1,0 +1,145 @@
+"""Payloads, size estimation, time-breakdown accounting, errors module."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError, ReproError, TaskFailedError
+from repro.simmpi import Payload, TimeBreakdown, sizeof
+from repro.simmpi.timers import summarize
+
+
+class TestSizeof:
+    def test_numpy_exact(self):
+        assert sizeof(np.zeros(10, dtype=np.float64)) == 80
+        assert sizeof(np.zeros((3, 4), dtype=np.int32)) == 48
+
+    def test_bytes(self):
+        assert sizeof(b"hello") == 5
+        assert sizeof(bytearray(12)) == 12
+
+    def test_scalars(self):
+        assert sizeof(7) == 8
+        assert sizeof(3.14) == 8
+        assert sizeof(True) == 8
+        assert sizeof(np.int64(3)) == 8
+
+    def test_none(self):
+        assert sizeof(None) == 0
+
+    def test_string(self):
+        assert sizeof("abc") == 3
+
+    def test_containers_recursive(self):
+        assert sizeof([1, 2, 3]) == 8 + 24
+        assert sizeof((1, "ab")) == 8 + 8 + 2
+        assert sizeof({1: 2}) == 8 + 16
+
+    def test_object_with_dict(self):
+        class Thing:
+            def __init__(self):
+                self.a = 1
+                self.b = np.zeros(4, dtype=np.uint8)
+
+        assert sizeof(Thing()) == 8 + 8 + 4
+
+
+class TestPayload:
+    def test_of_wraps_and_sizes(self):
+        arr = np.zeros(100, dtype=np.uint8)
+        p = Payload.of(arr)
+        assert p.nbytes == 100
+        assert p.data is arr
+        assert not p.is_model
+
+    def test_explicit_nbytes_override(self):
+        p = Payload.of([1, 2], nbytes=1000)
+        assert p.nbytes == 1000
+
+    def test_model_payload(self):
+        p = Payload.model(1 << 30)
+        assert p.is_model
+        assert p.data is None
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(MPIError):
+            Payload(-1)
+
+    def test_zero_byte_real_payload_not_model(self):
+        assert not Payload(0, None).is_model
+
+
+class TestTimeBreakdown:
+    def test_accumulates(self):
+        bd = TimeBreakdown()
+        bd.add("sync", 1.0)
+        bd.add("sync", 2.0)
+        bd.add("io", 0.5)
+        assert bd.get("sync") == 3.0
+        assert bd.counts["sync"] == 2
+        assert bd.total() == 3.5
+        assert bd.total(["io"]) == 0.5
+
+    def test_negative_rejected(self):
+        bd = TimeBreakdown()
+        with pytest.raises(ValueError):
+            bd.add("sync", -0.1)
+
+    def test_snapshot_is_copy(self):
+        bd = TimeBreakdown()
+        bd.add("io", 1.0)
+        snap = bd.snapshot()
+        bd.add("io", 1.0)
+        assert snap["io"] == 1.0
+
+    def test_clear(self):
+        bd = TimeBreakdown()
+        bd.add("io", 1.0)
+        bd.clear()
+        assert bd.total() == 0.0
+
+    def test_merged_with(self):
+        a, b = TimeBreakdown(), TimeBreakdown()
+        a.add("sync", 1.0)
+        b.add("sync", 2.0)
+        b.add("io", 3.0)
+        m = a.merged_with(b)
+        assert m.get("sync") == 3.0
+        assert m.get("io") == 3.0
+        assert a.get("sync") == 1.0  # originals untouched
+
+    def test_summarize(self):
+        bds = []
+        for t in (1.0, 3.0):
+            bd = TimeBreakdown()
+            bd.add("sync", t)
+            bds.append(bd)
+        s = summarize(bds)
+        assert s["sync"]["max"] == 3.0
+        assert s["sync"]["mean"] == 2.0
+        assert s["sync"]["sum"] == 4.0
+
+    def test_summarize_empty(self):
+        assert summarize([]) == {}
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        from repro.errors import (ConfigError, DatatypeError, FileSystemError,
+                                  MPIIOError, ParCollError, SimulationError)
+
+        for exc in (ConfigError, DatatypeError, FileSystemError, MPIIOError,
+                    ParCollError, SimulationError, MPIError):
+            assert issubclass(exc, ReproError)
+
+    def test_task_failed_preserves_original(self):
+        original = ValueError("inner")
+        exc = TaskFailedError("rank-3", original)
+        assert exc.original is original
+        assert "rank-3" in str(exc)
+
+    def test_deadlock_error_lists_tasks(self):
+        from repro.errors import DeadlockError
+
+        exc = DeadlockError(["a: waiting", "b: joining"])
+        assert "2 task(s)" in str(exc)
+        assert "a: waiting" in str(exc)

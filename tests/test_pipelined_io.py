@@ -1,0 +1,93 @@
+"""Split-phase (pipelined) collective writes: correctness and overlap."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import Stack, rank_pattern
+
+
+def run_ior_like(pipelined, nprocs=8, block=4096, cb=512):
+    st = Stack(nprocs=nprocs, stripe_size=1024, n_osts=4, stripe_count=4)
+
+    def program(comm, io):
+        f = yield from io.open(comm, "pipe", hints={
+            "protocol": "ext2ph", "cb_buffer_size": cb,
+            "pipelined_io": pipelined})
+        yield from f.write_at_all(comm.rank * block,
+                                  rank_pattern(comm.rank, block))
+        yield from f.close()
+        return comm.now
+
+    times = st.run(program)
+    return st, max(times)
+
+
+class TestPipelinedWrites:
+    def test_bytes_identical(self):
+        a, _ = run_ior_like(False)
+        b, _ = run_ior_like(True)
+        np.testing.assert_array_equal(a.file_bytes("pipe"),
+                                      b.file_bytes("pipe"))
+
+    def test_overlap_not_slower(self):
+        """Overlapping write rounds must never lose to the blocking path."""
+        _, t_block = run_ior_like(False)
+        _, t_pipe = run_ior_like(True)
+        assert t_pipe <= t_block * 1.01
+
+    def test_overlap_helps_with_many_rounds(self):
+        """With many small rounds, hiding the write time should win."""
+        _, t_block = run_ior_like(False, block=16384, cb=512)
+        _, t_pipe = run_ior_like(True, block=16384, cb=512)
+        assert t_pipe < t_block
+
+    def test_works_with_parcoll(self):
+        st = Stack(nprocs=8)
+        block = 512
+
+        def program(comm, io):
+            f = yield from io.open(comm, "ppc", hints={
+                "protocol": "parcoll", "parcoll_ngroups": 2,
+                "pipelined_io": True, "cb_buffer_size": 128})
+            yield from f.write_at_all(comm.rank * block,
+                                      rank_pattern(comm.rank, block))
+            yield from f.close()
+
+        st.run(program)
+        ref = np.concatenate([rank_pattern(r, block) for r in range(8)])
+        np.testing.assert_array_equal(st.file_bytes("ppc"), ref)
+
+    def test_model_mode(self):
+        st = Stack(nprocs=4, store_data=False)
+        block = 1 << 14
+
+        def program(comm, io):
+            f = yield from io.open(comm, "pm", hints={
+                "protocol": "ext2ph", "pipelined_io": True,
+                "cb_buffer_size": 2048})
+            n = yield from f.write_at_all(comm.rank * block, nbytes=block)
+            yield from f.close()
+            return n
+
+        assert st.run(program) == [block] * 4
+        assert st.fs.lookup("pm").tracker.is_fully_covered(0, 4 * block)
+
+    def test_sequential_collective_calls(self):
+        """Pending writes of call N must not leak into call N+1."""
+        st = Stack(nprocs=4)
+
+        def program(comm, io):
+            f = yield from io.open(comm, "seq", hints={
+                "protocol": "ext2ph", "pipelined_io": True,
+                "cb_buffer_size": 256})
+            for step in range(3):
+                yield from f.write_at_all(4096 * step + comm.rank * 512,
+                                          rank_pattern(comm.rank + step, 512))
+            yield from f.close()
+
+        st.run(program)
+        got = st.file_bytes("seq")
+        for step in range(3):
+            for r in range(4):
+                seg = got[4096 * step + r * 512:4096 * step + (r + 1) * 512]
+                np.testing.assert_array_equal(seg, rank_pattern(r + step, 512))

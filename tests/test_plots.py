@@ -1,0 +1,75 @@
+"""Terminal chart rendering."""
+
+import pytest
+
+from repro.harness.figures import FigureResult
+from repro.harness.plots import figure_chart, hbar_chart, line_chart
+
+
+class TestHbar:
+    def test_bars_scale_to_max(self):
+        text = hbar_chart({"a": 100.0, "b": 50.0}, width=10, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        bar_a = lines[1].split("│")[1]
+        bar_b = lines[2].split("│")[1]
+        assert bar_a.count("█") == 10
+        assert bar_b.count("█") == 5
+
+    def test_empty(self):
+        assert hbar_chart({}, title="x") == "x"
+
+    def test_zero_values(self):
+        text = hbar_chart({"a": 0.0, "b": 0.0})
+        assert "█" not in text
+
+    def test_unit_suffix(self):
+        text = hbar_chart({"a": 1234.0}, unit=" MB/s")
+        assert "1,234 MB/s" in text
+
+
+class TestLineChart:
+    def test_renders_all_series_markers(self):
+        text = line_chart({"one": {1: 10, 2: 20}, "two": {1: 5, 2: 40}},
+                          width=20, height=6)
+        assert "o one" in text
+        assert "x two" in text
+        assert "o" in text.splitlines()[1] + "".join(text.splitlines())
+
+    def test_log_x(self):
+        text = line_chart({"s": {32: 1.0, 1024: 2.0}}, logx=True, width=20,
+                          height=5)
+        assert "32" in text and "1024" in text or "1,024" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = line_chart({"s": {1: 5.0, 2: 5.0}})
+        assert "5" in text
+
+    def test_empty(self):
+        assert line_chart({}, title="t") == "t"
+
+
+class TestFigureChart:
+    def make_result(self, series):
+        return FigureResult(figure="Figure X", title="t", headers=["a"],
+                            rows=[[1]], series=series)
+
+    def test_dict_of_dict_series_plots_lines(self):
+        r = self.make_result({"baseline": {32: 1.0, 64: 2.0},
+                              "parcoll": {32: 2.0, 64: 5.0}})
+        text = figure_chart(r)
+        assert "baseline" in text and "parcoll" in text
+
+    def test_flat_series_plots_bars(self):
+        r = self.make_result({"A": 10.0, "B": 20.0})
+        text = figure_chart(r)
+        assert "│" in text
+
+    def test_no_numeric_series_falls_back_to_table(self):
+        r = self.make_result({"notes": "hello"})
+        assert "Figure X" in figure_chart(r)
+
+    def test_series_filter(self):
+        r = self.make_result({"keep": {1: 1.0}, "drop": {1: 2.0}})
+        text = figure_chart(r, series_names=["keep"])
+        assert "keep" in text and "drop" not in text

@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) for segment algebra and datatypes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes import (BYTE, Contiguous, Indexed, Subarray, Vector,
+                             coalesce, gather_segments, scatter_segments,
+                             validate_segments)
+from repro.datatypes.flatten import intersect_range, total_bytes
+
+# -- strategies -----------------------------------------------------------
+
+segment_lists = st.lists(
+    st.tuples(st.integers(0, 500), st.integers(0, 40)), min_size=0, max_size=30
+)
+
+
+def covered_set(offsets, lengths):
+    s = set()
+    for o, l in zip(offsets.tolist(), lengths.tolist()):
+        s.update(range(o, o + l))
+    return s
+
+
+# -- coalesce -------------------------------------------------------------
+
+@given(segment_lists)
+def test_coalesce_output_is_canonical(raw):
+    offs = [o for o, _ in raw]
+    lens = [l for _, l in raw]
+    o, l = coalesce(offs, lens)
+    validate_segments(o, l, allow_adjacent=False)
+
+
+@given(segment_lists)
+def test_coalesce_preserves_covered_bytes(raw):
+    offs = np.array([o for o, _ in raw], dtype=np.int64)
+    lens = np.array([l for _, l in raw], dtype=np.int64)
+    o, l = coalesce(offs, lens)
+    assert covered_set(o, l) == covered_set(offs, lens)
+
+
+@given(segment_lists)
+def test_coalesce_idempotent(raw):
+    o1, l1 = coalesce([o for o, _ in raw], [l for _, l in raw])
+    o2, l2 = coalesce(o1, l1)
+    np.testing.assert_array_equal(o1, o2)
+    np.testing.assert_array_equal(l1, l2)
+
+
+# -- intersect_range ------------------------------------------------------
+
+@given(segment_lists, st.integers(0, 600), st.integers(0, 600))
+def test_intersect_is_subset_and_exact(raw, a, b):
+    lo, hi = min(a, b), max(a, b)
+    o0, l0 = coalesce([o for o, _ in raw], [l for _, l in raw])
+    o, l = intersect_range((o0, l0), lo, hi)
+    validate_segments(o, l)
+    full = covered_set(o0, l0)
+    assert covered_set(o, l) == {x for x in full if lo <= x < hi}
+
+
+@given(segment_lists, st.lists(st.integers(0, 600), min_size=2, max_size=6))
+def test_disjoint_ranges_partition_segments(raw, cuts):
+    """Splitting a segment list at cut points loses and duplicates nothing."""
+    o0, l0 = coalesce([o for o, _ in raw], [l for _, l in raw])
+    bounds = sorted(set(cuts) | {0, 1000})
+    pieces = [intersect_range((o0, l0), lo, hi)
+              for lo, hi in zip(bounds[:-1], bounds[1:])]
+    union = set()
+    total = 0
+    for o, l in pieces:
+        cov = covered_set(o, l)
+        assert union.isdisjoint(cov)
+        union |= cov
+        total += total_bytes((o, l))
+    assert union == covered_set(o0, l0)
+    assert total == total_bytes((o0, l0))
+
+
+# -- datatype invariants ---------------------------------------------------
+
+@given(st.integers(0, 20), st.integers(0, 10), st.integers(-15, 15))
+def test_vector_flattened_size_matches(count, blocklength, stride):
+    if count > 0 and blocklength > 0 and abs(stride) < blocklength:
+        stride = blocklength  # avoid overlapping typemaps (invalid in MPI too)
+    t = Vector(count, blocklength, stride, BYTE)
+    assert total_bytes(t.segments()) == t.size
+
+
+@given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 100)),
+                min_size=0, max_size=10))
+def test_indexed_size_invariant(blocks):
+    # space displacements so blocks never overlap
+    bls, disps, cursor = [], [], 0
+    for bl, gap in blocks:
+        disps.append(cursor + gap)
+        bls.append(bl)
+        cursor += gap + bl
+    t = Indexed(bls, disps, BYTE)
+    assert total_bytes(t.segments()) == t.size == sum(bls)
+
+
+@settings(max_examples=60)
+@given(st.data())
+def test_subarray_matches_numpy_reference(data):
+    ndim = data.draw(st.integers(1, 3))
+    shape = tuple(data.draw(st.integers(1, 8)) for _ in range(ndim))
+    subsizes, starts = [], []
+    for n in shape:
+        sub = data.draw(st.integers(0, n))
+        start = data.draw(st.integers(0, n - sub))
+        subsizes.append(sub)
+        starts.append(start)
+    t = Subarray(shape, tuple(subsizes), tuple(starts), BYTE)
+    buf = np.arange(np.prod(shape), dtype=np.uint8)
+    arr = buf.reshape(shape)
+    sl = tuple(slice(s, s + z) for s, z in zip(starts, subsizes))
+    expected = arr[sl].ravel()
+    o, l = t.segments()
+    np.testing.assert_array_equal(gather_segments(buf, o, l), expected)
+
+
+@settings(max_examples=60)
+@given(st.integers(1, 50), st.integers(1, 20), st.data())
+def test_gather_scatter_roundtrip(nsegs, maxlen, data):
+    # build disjoint segments
+    offs, cursor = [], 0
+    lens = []
+    for _ in range(nsegs):
+        gap = data.draw(st.integers(0, 10))
+        ln = data.draw(st.integers(1, maxlen))
+        offs.append(cursor + gap)
+        lens.append(ln)
+        cursor += gap + ln
+    offs = np.array(offs, dtype=np.int64)
+    lens = np.array(lens, dtype=np.int64)
+    rng = np.random.default_rng(0)
+    buf = rng.integers(0, 256, size=cursor + 5, dtype=np.uint8)
+    packed = gather_segments(buf, offs, lens)
+    out = np.zeros_like(buf)
+    scatter_segments(out, offs, lens, packed)
+    packed2 = gather_segments(out, offs, lens)
+    np.testing.assert_array_equal(packed, packed2)

@@ -1,0 +1,89 @@
+"""Property-based tests for file views: tiling integrity over random types."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes import BYTE, Contiguous, Subarray, Vector
+from repro.datatypes.flatten import validate_segments
+from repro.mpiio import FileView
+
+
+@st.composite
+def view_types(draw):
+    kind = draw(st.sampled_from(["contiguous", "vector", "subarray"]))
+    if kind == "contiguous":
+        return Contiguous(draw(st.integers(1, 64)), BYTE)
+    if kind == "vector":
+        count = draw(st.integers(1, 12))
+        blocklen = draw(st.integers(1, 16))
+        stride = draw(st.integers(blocklen, blocklen + 24))
+        return Vector(count, blocklen, stride, BYTE)
+    rows = draw(st.integers(1, 10))
+    cols = draw(st.integers(1, 10))
+    sr = draw(st.integers(1, rows))
+    sc = draw(st.integers(1, cols))
+    r0 = draw(st.integers(0, rows - sr))
+    c0 = draw(st.integers(0, cols - sc))
+    return Subarray((rows, cols), (sr, sc), (r0, c0), BYTE)
+
+
+@settings(max_examples=120)
+@given(view_types(), st.integers(0, 64), st.data())
+def test_segments_cover_exactly_the_requested_bytes(ft, disp, data):
+    view = FileView(disp, BYTE, ft)
+    span = 4 * ft.size
+    lo = data.draw(st.integers(0, span - 1))
+    hi = data.draw(st.integers(lo, span))
+    offs, lens = view.segments_for(lo, hi)
+    validate_segments(offs, lens, allow_adjacent=False)
+    assert int(lens.sum()) == hi - lo
+    if offs.size:
+        assert int(offs[0]) >= disp
+
+
+@settings(max_examples=80)
+@given(view_types(), st.data())
+def test_adjacent_ranges_tile_without_overlap(ft, data):
+    """Consecutive data ranges map to disjoint physical byte sets whose
+    union equals the full range's set."""
+    view = FileView(0, BYTE, ft)
+    total = 3 * ft.size
+    cut = data.draw(st.integers(0, total))
+    def cover(lo, hi):
+        offs, lens = view.segments_for(lo, hi)
+        s = set()
+        for o, l in zip(offs.tolist(), lens.tolist()):
+            s.update(range(o, o + l))
+        return s
+
+    left = cover(0, cut)
+    right = cover(cut, total)
+    assert left.isdisjoint(right)
+    assert left | right == cover(0, total)
+
+
+@settings(max_examples=80)
+@given(view_types(), st.integers(1, 5))
+def test_tile_instances_do_not_collide(ft, ntiles):
+    """Different tiles of one view address different bytes (positive-extent
+    filetypes), in increasing offset order."""
+    view = FileView(0, BYTE, ft)
+    seen = set()
+    for t in range(ntiles):
+        offs, lens = view.segments_for(t * ft.size, (t + 1) * ft.size)
+        cover = set()
+        for o, l in zip(offs.tolist(), lens.tolist()):
+            cover.update(range(o, o + l))
+        assert seen.isdisjoint(cover)
+        seen |= cover
+
+
+@settings(max_examples=60)
+@given(view_types())
+def test_data_extent_brackets_segments(ft):
+    view = FileView(16, BYTE, ft)
+    lo, hi = view.data_extent(0, ft.size)
+    offs, lens = view.segments_for(0, ft.size)
+    assert lo == int(offs[0])
+    assert hi == int(offs[-1] + lens[-1])

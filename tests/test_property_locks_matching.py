@@ -1,0 +1,124 @@
+"""Property tests: extent-lock state machine and MPI message matching."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import MachineConfig
+from repro.lustre.locks import LockManager
+from repro.simmpi import World
+
+
+# -- lock state machine -----------------------------------------------------
+
+access_sequences = st.lists(
+    st.tuples(st.integers(0, 3),          # ost
+              st.integers(0, 4),          # client
+              st.sampled_from(["r", "w"])),
+    min_size=0, max_size=60,
+)
+
+
+@given(access_sequences)
+def test_lock_costs_follow_the_state_machine(seq):
+    """Re-derive grant/revocation counts from a reference state machine."""
+    lm = LockManager()
+    ref: dict[int, tuple[str, frozenset]] = {}
+    for ost, client, mode in seq:
+        grants, revokes = lm.access(ost, client, mode)
+        state = ref.get(ost)
+        if state is None:
+            assert (grants, revokes) == (1, 0)
+            ref[ost] = (mode, frozenset({client}))
+            continue
+        cur_mode, holders = state
+        if mode == "r" and cur_mode == "r":
+            if client in holders:
+                assert (grants, revokes) == (0, 0)
+            else:
+                assert (grants, revokes) == (1, 0)
+                ref[ost] = ("r", holders | {client})
+            continue
+        if client in holders and cur_mode == mode:
+            assert (grants, revokes) == (0, 0)
+            continue
+        if cur_mode == "w" and holders == frozenset({client}):
+            assert (grants, revokes) == (0, 0)
+            continue
+        expected_revoked = len(holders - {client})
+        assert (grants, revokes) == (1, expected_revoked)
+        ref[ost] = (mode, frozenset({client}))
+
+
+@given(access_sequences)
+def test_lock_counters_consistent(seq):
+    lm = LockManager()
+    total_g = total_r = 0
+    for ost, client, mode in seq:
+        g, r = lm.access(ost, client, mode)
+        total_g += g
+        total_r += r
+    assert lm.grants == total_g
+    assert lm.revocations == total_r
+
+
+@given(access_sequences)
+def test_holder_count_bounds(seq):
+    lm = LockManager()
+    for ost, client, mode in seq:
+        lm.access(ost, client, mode)
+        n = lm.holder_count(ost)
+        assert n >= 1  # the accessor always ends up holding
+
+
+# -- message matching --------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_unique_tagged_messages_match_exactly(data):
+    """Random send order + random recv posting order with unique tags:
+    every receive gets precisely its tag's payload."""
+    nmsgs = data.draw(st.integers(1, 12))
+    send_order = data.draw(st.permutations(list(range(nmsgs))))
+    recv_order = data.draw(st.permutations(list(range(nmsgs))))
+    w = World(MachineConfig(nprocs=2, cores_per_node=1))
+    got = {}
+
+    def program(comm):
+        if comm.rank == 0:
+            reqs = [comm.isend(f"payload-{t}", dest=1, tag=t)
+                    for t in send_order]
+            yield from comm.waitall(reqs)
+        else:
+            for t in recv_order:
+                p = yield from comm.recv(source=0, tag=t)
+                got[t] = p.data
+
+    w.launch(program)
+    assert got == {t: f"payload-{t}" for t in range(nmsgs)}
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 10), st.integers(0, 1_000_000))
+def test_same_tag_messages_arrive_in_send_order(n, seed):
+    """FIFO non-overtaking per (source, tag) regardless of payload sizes."""
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(1, 200_000, size=n).tolist()  # mix eager/rendezvous
+    w = World(MachineConfig(nprocs=2, cores_per_node=1))
+    got = []
+
+    def program(comm):
+        if comm.rank == 0:
+            reqs = []
+            for i, size in enumerate(sizes):
+                from repro.simmpi import Payload
+
+                reqs.append(comm.isend(Payload(size, i), dest=1, tag=9))
+            yield from comm.waitall(reqs)
+        else:
+            for _ in sizes:
+                p = yield from comm.recv(source=0, tag=9)
+                got.append(p.data)
+
+    w.launch(program)
+    assert got == list(range(n))

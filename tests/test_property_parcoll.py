@@ -1,0 +1,200 @@
+"""Property-based tests: partition-plan and striping invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lustre import StripeLayout
+from repro.parcoll import plan_partition
+from repro.parcoll.intermediate_view import IntermediateView
+
+
+# -- partition plans -------------------------------------------------------
+
+@st.composite
+def extent_lists(draw):
+    """Random per-rank (lo, hi, nbytes) lists, mixing shapes and idles."""
+    n = draw(st.integers(1, 24))
+    kind = draw(st.sampled_from(["serial", "overlapping", "mixed"]))
+    out = []
+    cursor = 0
+    for r in range(n):
+        if draw(st.integers(0, 9)) == 0:
+            out.append((-1, -1, 0))  # idle rank
+            continue
+        nbytes = draw(st.integers(1, 500))
+        if kind == "serial":
+            lo = cursor + draw(st.integers(0, 50))
+            hi = lo + nbytes + draw(st.integers(0, 100))
+            cursor = hi
+        elif kind == "overlapping":
+            lo = draw(st.integers(0, 200))
+            hi = lo + nbytes + draw(st.integers(0, 400))
+        else:
+            lo = draw(st.integers(0, 1000))
+            hi = lo + nbytes + draw(st.integers(0, 200))
+        out.append((lo, hi, nbytes))
+    return out
+
+
+@settings(max_examples=120)
+@given(extent_lists(), st.integers(1, 16))
+def test_plan_assigns_every_rank_a_valid_group(extents, G):
+    plan = plan_partition(extents, G)
+    assert len(plan.group_of) == len(extents)
+    assert all(0 <= g < plan.ngroups for g in plan.group_of)
+    active = sum(1 for lo, _, nb in extents if lo >= 0 and nb > 0)
+    assert plan.ngroups <= max(1, min(G, active if active else 1))
+
+
+@settings(max_examples=120)
+@given(extent_lists(), st.integers(1, 16))
+def test_direct_plans_have_disjoint_fas_containing_members(extents, G):
+    plan = plan_partition(extents, G)
+    if plan.mode != "direct":
+        return
+    fas = plan.fa_bounds
+    for g in range(plan.ngroups - 1):
+        assert fas[g][1] <= fas[g + 1][0]
+    for r, (lo, hi, nb) in enumerate(extents):
+        if lo >= 0 and nb > 0:
+            g = plan.group_of[r]
+            assert fas[g][0] <= lo and hi <= fas[g][1]
+
+
+@settings(max_examples=120)
+@given(extent_lists(), st.integers(1, 16))
+def test_intermediate_plans_partition_logical_space(extents, G):
+    plan = plan_partition(extents, G)
+    if plan.mode != "intermediate":
+        return
+    total = sum(nb for lo, _, nb in extents if lo >= 0)
+    fas = plan.fa_bounds
+    assert fas[0][0] == 0
+    assert fas[-1][1] == total
+    for g in range(plan.ngroups - 1):
+        assert fas[g][1] == fas[g + 1][0]
+    # every active rank's logical range sits inside its group's FA
+    for r, (lo, hi, nb) in enumerate(extents):
+        if lo >= 0 and nb > 0:
+            g = plan.group_of[r]
+            pfx = plan.logical_prefix[r]
+            assert fas[g][0] <= pfx and pfx + nb <= fas[g][1]
+
+
+@settings(max_examples=60)
+@given(extent_lists(), st.integers(1, 16))
+def test_plan_byte_balance_bounded(extents, G):
+    """No group exceeds the ideal share by more than one rank's bytes."""
+    plan = plan_partition(extents, G)
+    active = [(r, nb) for r, (lo, _, nb) in enumerate(extents)
+              if lo >= 0 and nb > 0]
+    if not active:
+        return
+    total = sum(nb for _, nb in active)
+    biggest = max(nb for _, nb in active)
+    ideal = total / plan.ngroups
+    per_group = [0] * plan.ngroups
+    for r, nb in active:
+        per_group[plan.group_of[r]] += nb
+    assert max(per_group) <= ideal + biggest + 1e-9
+
+
+@settings(max_examples=60)
+@given(extent_lists(), st.integers(1, 16))
+def test_plan_deterministic(extents, G):
+    assert plan_partition(extents, G) == plan_partition(extents, G)
+
+
+# -- intermediate-view translation ------------------------------------------
+
+@st.composite
+def segment_sets(draw):
+    n = draw(st.integers(1, 20))
+    offs, lens = [], []
+    cursor = 0
+    for _ in range(n):
+        cursor += draw(st.integers(1, 30))
+        ln = draw(st.integers(1, 40))
+        offs.append(cursor)
+        lens.append(ln)
+        cursor += ln
+    return (np.array(offs, dtype=np.int64), np.array(lens, dtype=np.int64))
+
+
+@settings(max_examples=100)
+@given(segment_sets(), st.integers(0, 10_000), st.data())
+def test_translate_preserves_bytes_and_order(segs, base, data):
+    iv = IntermediateView(segs, logical_base=base)
+    total = iv.total
+    dlo = data.draw(st.integers(0, total - 1))
+    dhi = data.draw(st.integers(dlo + 1, total))
+    sub = (np.array([base + dlo], dtype=np.int64),
+           np.array([dhi - dlo], dtype=np.int64))
+    po, pl = iv.translate(sub)
+    # byte count preserved
+    assert int(pl.sum()) == dhi - dlo
+    # physical segments are a sorted subset of the original coverage
+    assert np.all(np.diff(po) > 0) or po.size <= 1
+    covered = set()
+    for o, l in zip(segs[0].tolist(), segs[1].tolist()):
+        covered.update(range(o, o + l))
+    for o, l in zip(po.tolist(), pl.tolist()):
+        assert set(range(o, o + l)) <= covered
+
+
+@settings(max_examples=50)
+@given(segment_sets(), st.data())
+def test_translate_partition_reassembles(segs, data):
+    """Cutting the logical range at arbitrary points loses nothing."""
+    iv = IntermediateView(segs, logical_base=0)
+    total = iv.total
+    ncuts = data.draw(st.integers(0, 5))
+    cuts = sorted({data.draw(st.integers(1, max(1, total - 1)))
+                   for _ in range(ncuts)} | {0, total})
+    covered = set()
+    for lo, hi in zip(cuts[:-1], cuts[1:]):
+        if hi <= lo:
+            continue
+        po, pl = iv.translate((np.array([lo], dtype=np.int64),
+                               np.array([hi - lo], dtype=np.int64)))
+        for o, l in zip(po.tolist(), pl.tolist()):
+            piece = set(range(o, o + l))
+            assert covered.isdisjoint(piece)
+            covered |= piece
+    expected = set()
+    for o, l in zip(segs[0].tolist(), segs[1].tolist()):
+        expected.update(range(o, o + l))
+    assert covered == expected
+
+
+# -- striping ---------------------------------------------------------------
+
+@settings(max_examples=100)
+@given(
+    st.integers(1, 1000), st.integers(1, 8), st.integers(1, 16),
+    st.lists(st.tuples(st.integers(0, 5000), st.integers(1, 700)),
+             min_size=1, max_size=20),
+)
+def test_chunks_partition_segments_exactly(stripe_size, count_idx, n_osts,
+                                           raw):
+    stripe_count = min(count_idx, n_osts)
+    lay = StripeLayout(stripe_size, stripe_count, n_osts)
+    from repro.datatypes.flatten import coalesce
+
+    offs, lens = coalesce([o for o, _ in raw], [l for _, l in raw])
+    co, cl, cost = lay.chunks(offs, lens)
+    # totals preserved
+    assert cl.sum() == lens.sum()
+    # each chunk sits inside one stripe and on the right OST
+    for o, l, ost in zip(co.tolist(), cl.tolist(), cost.tolist()):
+        assert o // stripe_size == (o + l - 1) // stripe_size
+        assert ost == int(lay.ost_of_offset(o))
+    # chunk coverage equals segment coverage
+    cover_seg = set()
+    for o, l in zip(offs.tolist(), lens.tolist()):
+        cover_seg.update(range(o, o + l))
+    cover_chunk = set()
+    for o, l in zip(co.tolist(), cl.tolist()):
+        cover_chunk.update(range(o, o + l))
+    assert cover_seg == cover_chunk

@@ -1,0 +1,146 @@
+"""scatter / reduce_scatter_block / exscan in both modes, plus edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MachineConfig
+from repro.errors import MPIError
+from repro.simmpi import MAX, SUM, World
+
+MODES = ("analytic", "detailed")
+SIZES = (1, 2, 3, 4, 7, 8)
+
+
+def make_world(p, mode):
+    return World(MachineConfig(nprocs=p, cores_per_node=2),
+                 collective_mode=mode)
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("p", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_scatter_delivers_slices(mode, p, root):
+    root = 0 if root == 0 else p - 1
+    w = make_world(p, mode)
+    got = {}
+
+    def program(comm):
+        values = [f"v{i}" for i in range(p)] if comm.rank == root else None
+        out = yield from comm.scatter(values, root=root)
+        got[comm.rank] = out
+
+    w.launch(program)
+    assert got == {r: f"v{r}" for r in range(p)}
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_scatter_root_without_values_raises(mode):
+    w = make_world(2, mode)
+
+    def program(comm):
+        yield from comm.scatter(None, root=0)
+
+    with pytest.raises((MPIError, ValueError)):
+        w.launch(program)
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("p", SIZES)
+def test_reduce_scatter_block_sums_slots(mode, p):
+    w = make_world(p, mode)
+    got = {}
+
+    def program(comm):
+        # rank src contributes (src+1) * 10^dst-ish; use simple sums
+        values = [comm.rank + dst for dst in range(p)]
+        out = yield from comm.reduce_scatter_block(values, op=SUM)
+        got[comm.rank] = out
+
+    w.launch(program)
+    # slot dst = sum over src of (src + dst)
+    base = p * (p - 1) // 2
+    assert got == {r: base + p * r for r in range(p)}
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_reduce_scatter_block_wrong_length(mode):
+    w = make_world(3, mode)
+
+    def program(comm):
+        yield from comm.reduce_scatter_block([1, 2])
+
+    with pytest.raises((MPIError, IndexError)):
+        w.launch(program)
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("p", SIZES)
+def test_exscan_prefix_excluding_self(mode, p):
+    w = make_world(p, mode)
+    got = {}
+
+    def program(comm):
+        out = yield from comm.exscan(comm.rank + 1, op=SUM)
+        got[comm.rank] = out
+
+    w.launch(program)
+    assert got[0] is None
+    for r in range(1, p):
+        assert got[r] == r * (r + 1) // 2
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_exscan_max(mode):
+    p = 5
+    w = make_world(p, mode)
+    got = {}
+
+    def program(comm):
+        out = yield from comm.exscan((comm.rank * 7) % 5, op=MAX)
+        got[comm.rank] = out
+
+    w.launch(program)
+    vals = [(r * 7) % 5 for r in range(p)]
+    for r in range(1, p):
+        assert got[r] == max(vals[:r])
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_new_collectives_interleave_with_old(mode):
+    """Mixed sequences keep their op ordering straight."""
+    p = 4
+    w = make_world(p, mode)
+    got = {}
+
+    def program(comm):
+        a = yield from comm.scatter(list(range(p)) if comm.rank == 0 else None)
+        b = yield from comm.allreduce(a, op=SUM)
+        c = yield from comm.exscan(1, op=SUM)
+        d = yield from comm.reduce_scatter_block([b] * p, op=SUM)
+        got[comm.rank] = (a, b, c, d)
+
+    w.launch(program)
+    total = sum(range(p))
+    for r in range(p):
+        a, b, c, d = got[r]
+        assert a == r
+        assert b == total
+        assert c == (None if r == 0 else r)
+        assert d == p * total
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_modes_agree_on_scatter_results(p):
+    results = {}
+    for mode in MODES:
+        w = make_world(p, mode)
+        got = {}
+
+        def program(comm):
+            values = [i * i for i in range(p)] if comm.rank == 1 % p else None
+            out = yield from comm.scatter(values, root=1 % p)
+            got[comm.rank] = out
+
+        w.launch(program)
+        results[mode] = got
+    assert results["analytic"] == results["detailed"]

@@ -1,0 +1,142 @@
+"""Transport protocol internals: eager/rendezvous boundary, NIC accounting,
+mailbox behaviour, request states."""
+
+import pytest
+
+from repro.cluster import MachineConfig, NetworkParams
+from repro.simmpi import Payload, World
+from repro.simmpi.p2p import Mailbox, Message, PostedRecv, RTS_BYTES
+
+
+def make_world(threshold, nprocs=4):
+    return World(MachineConfig(nprocs=nprocs, cores_per_node=1),
+                 net_params=NetworkParams(eager_threshold=threshold))
+
+
+class TestEagerRendezvousBoundary:
+    def run_send(self, nbytes, threshold):
+        w = make_world(threshold)
+        out = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                t0 = comm.now
+                yield from comm.send(Payload.model(nbytes), dest=1)
+                out["send_done"] = comm.now - t0
+            elif comm.rank == 1:
+                yield from comm.proc.compute(1.0)  # receiver late
+                yield from comm.recv(source=0)
+
+        w.launch(program)
+        return w, out
+
+    def test_at_threshold_is_eager(self):
+        _, out = self.run_send(nbytes=1024, threshold=1024)
+        assert out["send_done"] < 0.5  # did not wait for the receiver
+
+    def test_above_threshold_is_rendezvous(self):
+        _, out = self.run_send(nbytes=1025, threshold=1024)
+        assert out["send_done"] >= 1.0  # waited for the late receiver
+
+    def test_rendezvous_header_bytes_on_wire(self):
+        w, _ = self.run_send(nbytes=10_000, threshold=1024)
+        # RTS header + payload both crossed the network
+        assert w.network.bytes_sent == RTS_BYTES + 10_000
+
+    def test_eager_counts_payload_once(self):
+        w, _ = self.run_send(nbytes=100, threshold=1024)
+        assert w.network.bytes_sent == 100
+
+
+class TestRequestStates:
+    def test_isend_request_completes(self):
+        w = make_world(1 << 20, nprocs=2)
+        states = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                req = comm.isend("x", dest=1)
+                states["before"] = req.complete
+                yield from req.wait()
+                states["after"] = req.complete
+            else:
+                yield from comm.recv(source=0)
+
+        w.launch(program)
+        assert states["after"] is True
+
+    def test_waitall_returns_in_request_order(self):
+        w = make_world(1 << 20, nprocs=3)
+        got = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                r2 = comm.irecv(source=2)
+                r1 = comm.irecv(source=1)
+                vals = yield from comm.waitall([r2, r1])
+                got["vals"] = [payload.data for payload, _ in vals]
+            else:
+                yield from comm.proc.compute(0.1 * comm.rank)
+                yield from comm.send(f"from{comm.rank}", dest=0)
+
+        w.launch(program)
+        assert got["vals"] == ["from2", "from1"]
+
+
+class TestMailbox:
+    def msg(self, ctx=0, src=1, tag=5):
+        return Message(ctx, src, 0, tag, Payload.model(4), False, None, 1)
+
+    def pr(self, ctx=0, src=1, tag=5):
+        from repro.sim import Engine, Event
+
+        return PostedRecv(ctx, src, tag, Event(Engine(), "e"), 1)
+
+    def test_match_posted_in_post_order(self):
+        mb = Mailbox()
+        a, b = self.pr(tag=-1), self.pr(tag=5)  # ANY_TAG then exact
+        mb.posted.extend([a, b])
+        matched = mb.match_posted(self.msg(tag=5))
+        assert matched is a  # first posted wins
+
+    def test_context_isolation(self):
+        mb = Mailbox()
+        mb.posted.append(self.pr(ctx=1))
+        assert mb.match_posted(self.msg(ctx=0)) is None
+
+    def test_unexpected_in_arrival_order(self):
+        mb = Mailbox()
+        m1, m2 = self.msg(tag=7), self.msg(tag=7)
+        mb.unexpected.extend([m1, m2])
+        got = mb.match_unexpected(self.pr(tag=7))
+        assert got is m1
+
+    def test_describe(self):
+        mb = Mailbox()
+        mb.posted.append(self.pr())
+        assert "1 posted" in mb.describe()
+
+
+class TestNicAccounting:
+    def test_incast_to_one_receiver_serializes(self):
+        """Many senders to one rank: the receiver NIC paces arrivals."""
+        w = World(MachineConfig(nprocs=5, cores_per_node=1),
+                  net_params=NetworkParams(bandwidth=1e6, latency=0.0,
+                                           send_overhead=0.0,
+                                           recv_overhead=0.0,
+                                           eager_threshold=1 << 30))
+        arrive = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                for i in range(4):
+                    payload = yield from comm.recv()
+                    arrive[i] = comm.now
+            else:
+                yield from comm.send(Payload.model(1_000_000), dest=0)
+
+        w.launch(program)
+        times = sorted(arrive.values())
+        # 1 MB at 1 MB/s each, serialized at the receiver: ~1s apart
+        for i in range(1, 4):
+            assert times[i] - times[i - 1] >= 0.9

@@ -1,0 +1,139 @@
+"""Communicator split semantics (the mechanism ParColl subgroups use)."""
+
+import pytest
+
+from repro.cluster import MachineConfig
+from repro.simmpi import SUM, World
+
+MODES = ("analytic", "detailed")
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_split_even_odd(mode):
+    w = World(MachineConfig(nprocs=8, cores_per_node=2), collective_mode=mode)
+    got = {}
+
+    def program(comm):
+        sub = yield from comm.split(color=comm.rank % 2)
+        got[comm.rank] = (sub.rank, sub.size)
+
+    w.launch(program)
+    # even ranks 0,2,4,6 -> subranks 0..3; odd likewise
+    assert got == {
+        0: (0, 4), 2: (1, 4), 4: (2, 4), 6: (3, 4),
+        1: (0, 4), 3: (1, 4), 5: (2, 4), 7: (3, 4),
+    }
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_split_undefined_color_gets_none(mode):
+    w = World(MachineConfig(nprocs=4), collective_mode=mode)
+    got = {}
+
+    def program(comm):
+        color = 0 if comm.rank < 2 else None
+        sub = yield from comm.split(color=color)
+        got[comm.rank] = None if sub is None else sub.size
+
+    w.launch(program)
+    assert got == {0: 2, 1: 2, 2: None, 3: None}
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_split_key_reorders_ranks(mode):
+    w = World(MachineConfig(nprocs=4), collective_mode=mode)
+    got = {}
+
+    def program(comm):
+        # reverse order within the single group
+        sub = yield from comm.split(color=0, key=-comm.rank)
+        got[comm.rank] = sub.rank
+
+    w.launch(program)
+    assert got == {0: 3, 1: 2, 2: 1, 3: 0}
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_subgroup_collectives_are_isolated(mode):
+    """Collectives in one subgroup must not involve or block the other."""
+    w = World(MachineConfig(nprocs=8, cores_per_node=2), collective_mode=mode)
+    got = {}
+
+    def program(comm):
+        sub = yield from comm.split(color=comm.rank // 4)
+        total = yield from sub.allreduce(comm.rank, op=SUM)
+        got[comm.rank] = total
+
+    w.launch(program)
+    assert all(got[r] == 0 + 1 + 2 + 3 for r in range(4))
+    assert all(got[r] == 4 + 5 + 6 + 7 for r in range(4, 8))
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_subgroup_does_not_wait_for_slow_outsiders(mode):
+    """The whole point of ParColl: a small group's sync cost is local."""
+    w = World(MachineConfig(nprocs=8, cores_per_node=2), collective_mode=mode)
+    exit_times = {}
+
+    def program(comm):
+        sub = yield from comm.split(color=comm.rank // 4)
+        if comm.rank >= 4:
+            yield from comm.proc.compute(100.0)  # slow group
+        yield from sub.barrier()
+        exit_times[comm.rank] = comm.now
+
+    w.launch(program)
+    assert all(exit_times[r] < 1.0 for r in range(4))
+    assert all(exit_times[r] >= 100.0 for r in range(4, 8))
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_nested_split(mode):
+    w = World(MachineConfig(nprocs=8, cores_per_node=2), collective_mode=mode)
+    got = {}
+
+    def program(comm):
+        half = yield from comm.split(color=comm.rank // 4)
+        quarter = yield from half.split(color=half.rank // 2)
+        got[comm.rank] = (half.size, quarter.size, quarter.rank)
+
+    w.launch(program)
+    for r in range(8):
+        assert got[r] == (4, 2, r % 2)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_p2p_within_subcommunicator_uses_group_ranks(mode):
+    w = World(MachineConfig(nprocs=6, cores_per_node=2), collective_mode=mode)
+    got = {}
+
+    def program(comm):
+        sub = yield from comm.split(color=comm.rank % 2)
+        if sub.rank == 0:
+            yield from sub.send(f"from-world-{comm.rank}", dest=sub.size - 1)
+        elif sub.rank == sub.size - 1:
+            p = yield from sub.recv(source=0)
+            got[comm.rank] = p.data
+
+    w.launch(program)
+    # world rank 4 is group rank 2 of the even group; sender was world rank 0
+    assert got[4] == "from-world-0"
+    assert got[5] == "from-world-1"
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_two_sequential_splits_get_distinct_contexts(mode):
+    w = World(MachineConfig(nprocs=4), collective_mode=mode)
+    got = {}
+
+    def program(comm):
+        a = yield from comm.split(color=0)
+        b = yield from comm.split(color=0)
+        got[comm.rank] = (a.desc.ctx, b.desc.ctx)
+
+    w.launch(program)
+    for r in range(4):
+        ctx_a, ctx_b = got[r]
+        assert ctx_a != ctx_b
+    # all ranks agree on the context ids
+    assert len({got[r] for r in range(4)}) == 1

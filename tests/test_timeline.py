@@ -1,0 +1,86 @@
+"""Trace-driven timeline analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeline import (OstLoadSummary, burstiness, ost_load,
+                                     utilization_curve)
+from repro.cluster import MachineConfig
+from repro.lustre import LustreFS, LustreParams
+from repro.mpiio import MPIIO
+from repro.sim import TraceRecorder
+from repro.simmpi import World
+from repro.workloads.base import deterministic_bytes
+
+
+def run_traced(protocol, ngroups=4, nprocs=16):
+    world = World(MachineConfig(nprocs=nprocs, cores_per_node=2))
+    trace = TraceRecorder()
+    fs = LustreFS(world.engine,
+                  LustreParams(n_osts=8, default_stripe_count=8,
+                               default_stripe_size=4096, jitter=0.2),
+                  trace=trace)
+    io = MPIIO(world, fs)
+    block = 1 << 14
+
+    def program(comm):
+        f = yield from io.open(comm, "t", hints={
+            "protocol": protocol, "parcoll_ngroups": ngroups,
+            "cb_buffer_size": 4096})
+        data = deterministic_bytes(comm.rank, block)
+        yield from f.write_at_all(comm.rank * block, data)
+        yield from f.close()
+
+    world.launch(program)
+    return trace, world.engine.now
+
+
+class TestOstLoad:
+    def test_records_collected(self):
+        trace, _ = run_traced("ext2ph")
+        summary = ost_load(trace)
+        assert summary.requests > 0
+        assert sum(summary.per_ost_bytes.values()) >= 16 * (1 << 14)
+
+    def test_imbalance_at_least_one(self):
+        trace, _ = run_traced("ext2ph")
+        summary = ost_load(trace)
+        assert summary.imbalance >= 1.0
+        assert summary.hottest_ost in summary.per_ost_busy
+
+    def test_empty_trace(self):
+        s = ost_load(TraceRecorder())
+        assert s.imbalance == 0.0
+        assert s.hottest_ost is None
+        assert s.requests == 0
+
+
+class TestUtilizationCurve:
+    def test_curve_bounded(self):
+        trace, t_end = run_traced("ext2ph")
+        edges, curve = utilization_curve(trace, t_end, nbins=20)
+        assert edges.size == 21
+        assert curve.size == 20
+        assert (curve >= 0).all() and (curve <= 1).all()
+        assert curve.sum() > 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            utilization_curve(TraceRecorder(), 0.0)
+        with pytest.raises(ValueError):
+            utilization_curve(TraceRecorder(), 1.0, nbins=0)
+
+    def test_burstiness_nonnegative(self):
+        trace, t_end = run_traced("ext2ph")
+        assert burstiness(trace, t_end) >= 0.0
+
+    def test_burstiness_zero_for_empty(self):
+        assert burstiness(TraceRecorder(), 1.0) == 0.0
+
+
+class TestSummaryMath:
+    def test_imbalance_formula(self):
+        s = OstLoadSummary(per_ost_busy={0: 1.0, 1: 3.0},
+                           per_ost_bytes={0: 10, 1: 30}, requests=2)
+        assert s.imbalance == pytest.approx(1.5)
+        assert s.hottest_ost == 1
