@@ -3,9 +3,15 @@
 Usage::
 
     python -m repro.cli figure 7 [--scale paper]
+    python -m repro.cli figure 9 --collective-mode hybrid:sync=analytic
     python -m repro.cli figures            # all of them
     python -m repro.cli calibrate          # platform micro-benchmarks
+    python -m repro.cli backends           # collective-fidelity backends
     python -m repro.cli list               # what is available
+
+``--collective-mode`` selects the collective-fidelity backend
+('analytic', 'detailed', or 'hybrid[:<cat>=<fidelity>,...]') for the
+figures whose sweeps support it; see :mod:`repro.simmpi.backends`.
 
 The same figure definitions back the pytest benchmarks; the CLI is for
 interactive exploration without the pytest machinery.
@@ -14,6 +20,7 @@ interactive exploration without the pytest machinery.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable
 
@@ -35,7 +42,8 @@ FIGURES: dict[str, Callable] = {
 _SCALED = {"1", "2", "6", "7", "8", "9", "10", "11"}
 
 
-def _run_figure(number: str, scale: str, chart: bool = False) -> int:
+def _run_figure(number: str, scale: str, chart: bool = False,
+                collective_mode: str | None = None) -> int:
     fn = FIGURES.get(number)
     if fn is None:
         print(f"unknown figure {number!r}; available: "
@@ -43,6 +51,20 @@ def _run_figure(number: str, scale: str, chart: bool = False) -> int:
               file=sys.stderr)
         return 2
     kwargs = {"scale": scale} if number in _SCALED else {}
+    if collective_mode is not None:
+        if "collective_mode" not in inspect.signature(fn).parameters:
+            print(f"figure {number} does not support --collective-mode",
+                  file=sys.stderr)
+            return 2
+        from repro.errors import MPIError
+        from repro.simmpi.backends import resolve_backend
+
+        try:
+            resolve_backend(collective_mode)
+        except MPIError as exc:
+            print(f"bad --collective-mode: {exc}", file=sys.stderr)
+            return 2
+        kwargs["collective_mode"] = collective_mode
     result = fn(**kwargs)
     print(result.to_table())
     if chart:
@@ -66,17 +88,22 @@ def main(argv: list[str] | None = None) -> int:
                        default="small")
     p_fig.add_argument("--chart", action="store_true",
                        help="also render a terminal chart of the series")
+    p_fig.add_argument("--collective-mode", default=None, metavar="SPEC",
+                       help="collective-fidelity backend for the sweep "
+                            "(analytic, detailed, hybrid[:<spec>])")
 
     p_all = sub.add_parser("figures", help="regenerate every figure")
     p_all.add_argument("--scale", choices=("small", "paper"),
                        default="small")
 
     sub.add_parser("calibrate", help="run platform micro-benchmarks")
+    sub.add_parser("backends", help="list collective-fidelity backends")
     sub.add_parser("list", help="list available figures")
 
     args = parser.parse_args(argv)
     if args.command == "figure":
-        return _run_figure(args.number, args.scale, chart=args.chart)
+        return _run_figure(args.number, args.scale, chart=args.chart,
+                           collective_mode=args.collective_mode)
     if args.command == "figures":
         status = 0
         for number in sorted(FIGURES, key=lambda s: int(s)):
@@ -87,6 +114,13 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis import calibrate
 
         print(calibrate().summary())
+        return 0
+    if args.command == "backends":
+        from repro.simmpi.backends import (available_backends,
+                                           resolve_backend)
+
+        for name in available_backends():
+            print(f"{name:>10}: {resolve_backend(name).describe()}")
         return 0
     if args.command == "list":
         for number in sorted(FIGURES, key=lambda s: int(s)):

@@ -76,13 +76,15 @@ def _tile_cfg(scale: str, hints: Optional[dict] = None,
 # Figures 1 & 2 — the collective wall / time breakdown
 # ---------------------------------------------------------------------------
 def fig01_collective_wall(procs: Sequence[int] = (16, 32, 64, 128, 256),
-                          scale: str = "small") -> FigureResult:
+                          scale: str = "small",
+                          collective_mode: str = "analytic") -> FigureResult:
     """Sync share of MPI-Tile-IO collective-write time vs process count."""
     rows = []
     shares = {}
     for p in procs:
         wl = _tile_cfg(scale, hints={"protocol": "ext2ph"})
-        res = run_experiment(_platform(p), partial(tile_io_program, wl))
+        res = run_experiment(_platform(p, collective_mode=collective_mode),
+                             partial(tile_io_program, wl))
         share = res.category_share("sync")
         shares[p] = share
         rows.append([p, round(100 * share, 1),
@@ -254,14 +256,16 @@ def fig08_sync_reduction(nprocs: int = 64,
 # ---------------------------------------------------------------------------
 def fig09_scalability(procs: Sequence[int] = (32, 64, 128, 256),
                       scale: str = "small",
-                      groups_for: Optional[Callable[[int], list]] = None
-                      ) -> FigureResult:
+                      groups_for: Optional[Callable[[int], list]] = None,
+                      collective_mode: str = "analytic") -> FigureResult:
     """Best-ParColl vs baseline tile-IO write bandwidth vs process count.
 
     The paper plots the *best* ParColl point per process count; we try a
     couple of group-count candidates (around P/32 and P/16 — staying at
     or below the tile grid's row count keeps the partition direct) and
-    keep the winner.
+    keep the winner.  ``collective_mode`` selects the fidelity backend
+    ('analytic', 'detailed', 'hybrid[:<spec>]'); the analytic/hybrid
+    backends are what make the large-rank end of this sweep affordable.
     """
     groups_for = groups_for or (
         lambda p: sorted({max(2, p // 32), max(2, p // 16)}))
@@ -269,12 +273,14 @@ def fig09_scalability(procs: Sequence[int] = (32, 64, 128, 256),
     series: dict[str, dict[int, float]] = {"baseline": {}, "parcoll": {}}
     for p in procs:
         wl_b = _tile_cfg(scale, hints={"protocol": "ext2ph"})
-        res_b = run_experiment(_platform(p), partial(tile_io_program, wl_b))
+        res_b = run_experiment(_platform(p, collective_mode=collective_mode),
+                               partial(tile_io_program, wl_b))
         best_g, best_bw = None, -1.0
         for g in groups_for(p):
             wl_p = _tile_cfg(scale, hints={"protocol": "parcoll",
                                            "parcoll_ngroups": g})
-            res_p = run_experiment(_platform(p),
+            res_p = run_experiment(_platform(p,
+                                             collective_mode=collective_mode),
                                    partial(tile_io_program, wl_p))
             bw = mb_per_s(res_p.write_bandwidth)
             if bw > best_bw:

@@ -21,6 +21,12 @@ class ExperimentConfig:
     ``net`` and ``lustre`` are keyword overrides for
     :class:`NetworkParams` / :class:`LustreParams`; experiments default to
     model mode (no data bytes) so paper-scale runs stay cheap.
+
+    ``collective_mode`` is a collective-fidelity backend spec
+    (:mod:`repro.simmpi.backends`): ``analytic``, ``detailed``, or
+    ``hybrid[:<category>=<fidelity>,...]`` for per-category selection —
+    the large-rank sweep configuration is
+    ``hybrid:sync=analytic,default=detailed``.
     """
 
     nprocs: int
@@ -55,6 +61,8 @@ class RunResult:
     events: int
     messages: int
     elapsed_total: float
+    #: canonical spec of the collective backend the run used
+    backend: str = ""
 
     def _phase(self, attr: str) -> tuple[int, float]:
         total_bytes = 0
@@ -128,4 +136,5 @@ def run_experiment(config: ExperimentConfig, program: Program) -> RunResult:
         events=world.engine.effects_dispatched,
         messages=world.network.messages_sent,
         elapsed_total=world.engine.now,
+        backend=world.collective_mode,
     )

@@ -81,13 +81,23 @@ class MPIFile:
     def __init__(self, io: MPIIO, comm: Communicator, shared: _SharedFile,
                  hints: IOHints):
         self.io = io
-        self.comm = comm
+        #: the communicator the file was opened on (no backend override)
+        self._caller_comm = comm
         self.shared = shared
         self.hints = hints
+        self.comm = self._hinted_comm()
         self.view = FileView(0, BYTE, BYTE)
         self._fp = 0  # individual file pointer, in etype units
         self._open_snapshot = comm.proc.breakdown.snapshot()
         self._closed = False
+
+    def _hinted_comm(self) -> Communicator:
+        """The file's working communicator: the caller's, with the
+        ``collective_mode`` hint installed as a backend override.  All
+        ranks open with the same hints, so overrides stay symmetric."""
+        if self.hints.collective_mode is None:
+            return self._caller_comm
+        return self._caller_comm.with_backend(self.hints.collective_mode)
 
     # ------------------------------------------------------------------
     @property
@@ -108,6 +118,8 @@ class MPIFile:
     def set_hints(self, **kwargs: Any) -> None:
         """Adjust hints on an open file (e.g. switch protocol per phase)."""
         self.hints = self.hints.with_(**kwargs)
+        if "collective_mode" in kwargs:
+            self.comm = self._hinted_comm()
 
     def _check_open(self) -> None:
         if self._closed:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Optional
 
-from repro.errors import MPIIOError
+from repro.errors import MPIError, MPIIOError
 
 VALID_PROTOCOLS = ("ext2ph", "parcoll", "independent")
 
@@ -57,10 +57,22 @@ class IOHints:
     #: work [13], realized with background tasks instead of threads —
     #: Catamount has none, which is why the paper could not use it)
     pipelined_io: bool = False
+    #: collective-fidelity backend for this file's collectives
+    #: ('analytic', 'detailed', 'hybrid[:<spec>]'); None inherits the
+    #: world's backend.  Every rank opens with the same hints, so the
+    #: override is installed symmetrically.
+    collective_mode: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.cb_buffer_size <= 0:
             raise MPIIOError("cb_buffer_size must be positive")
+        if self.collective_mode is not None:
+            from repro.simmpi.backends import resolve_backend
+
+            try:
+                resolve_backend(self.collective_mode)
+            except MPIError as exc:
+                raise MPIIOError(str(exc)) from exc
         if self.cb_nodes is not None and self.cb_nodes <= 0:
             raise MPIIOError("cb_nodes must be positive")
         if self.protocol not in VALID_PROTOCOLS:

@@ -41,8 +41,12 @@ def _prepare(env: IOEnv, segs: Segments, cache: dict
     as the paper does at file-view initiation.  Later calls reuse the
     grouping and coordinate purely within subgroups, which is what lets
     subgroups drift apart instead of re-synchronizing globally per call.
-    The pattern must stay stationary (same per-rank byte counts for
-    intermediate views, rank-monotone offsets); use 'always' otherwise.
+    The pattern must stay stationary: intermediate-view plans require the
+    same per-rank byte counts, and direct plans require either unchanged
+    extents or per-rank *contiguous* accesses (which regroup safely under
+    the rank-monotone contract).  Fragmented accesses whose extents drift
+    raise :class:`ParCollError` instead of silently reusing the stale
+    grouping; use 'always' for such patterns.
     """
     comm = env.comm
     offs, lens = segs
@@ -52,16 +56,34 @@ def _prepare(env: IOEnv, segs: Segments, cache: dict
     if env.hints.parcoll_replan == "once":
         held = cache.get(("plan", comm.rank))
         if held is not None:
-            plan, subcomm, sub_hints, plan_nbytes = held
+            plan, subcomm, sub_hints, planned = held
             iview = None
             if plan.uses_intermediate_view:
-                if nbytes != plan_nbytes:
+                if nbytes != planned[2]:
                     raise ParCollError(
                         "access size changed under parcoll_replan='once' "
                         "with intermediate file views; set "
                         "parcoll_replan='always' for non-stationary patterns"
                     )
                 iview = IntermediateView(segs, plan.logical_prefix[comm.rank])
+            elif (lo, hi, nbytes) != planned:
+                # The grouping was planned from different extents.  A
+                # per-rank *contiguous* access that merely moved or
+                # resized regroups safely under the documented
+                # rank-monotone contract (Flash's successive datasets);
+                # a fragmented access whose extents drift would silently
+                # run every subgroup over a stale File Area grouping.
+                held_contig = planned[1] - planned[0] == planned[2]
+                now_contig = hi - lo == nbytes or nbytes == 0
+                if not (held_contig and now_contig):
+                    raise ParCollError(
+                        "extents of a non-contiguous access changed under "
+                        f"parcoll_replan='once' (planned lo/hi/nbytes "
+                        f"{planned}, now {(lo, hi, nbytes)}); the cached "
+                        "grouping no longer matches the pattern — set "
+                        "parcoll_replan='always' for non-stationary "
+                        "patterns"
+                    )
             return plan, subcomm, sub_hints, iview
     extents = yield from comm.allgather((lo, hi, nbytes), category="sync")
     plan = plan_partition(extents, env.hints.parcoll_ngroups,
@@ -91,7 +113,8 @@ def _prepare(env: IOEnv, segs: Segments, cache: dict
         cache[key] = cached
     subcomm, sub_hints = cached
     if env.hints.parcoll_replan == "once":
-        cache[("plan", comm.rank)] = (plan, subcomm, sub_hints, nbytes)
+        cache[("plan", comm.rank)] = (plan, subcomm, sub_hints,
+                                      (lo, hi, nbytes))
     iview = None
     if plan.uses_intermediate_view:
         iview = IntermediateView(segs, plan.logical_prefix[comm.rank])

@@ -1,11 +1,12 @@
 """LogP-style analytic cost model for collective operations.
 
-Used when the world runs with ``collective_mode='analytic'``: a collective
-becomes a synchronization site whose exit time is
-``max(entry times) + cost(op, p, sizes)``.  The formulas follow the
-standard algorithms MPICH/ROMIO uses (binomial trees, recursive doubling,
-pairwise exchange), so detailed and analytic modes agree to first order —
-an agreement that tests and an ablation benchmark check explicitly.
+Used by the ``analytic`` collective backend (and by ``hybrid`` for the
+categories it maps to it): a collective becomes a synchronization site
+whose exit time is ``max(entry times) + cost(op, p, sizes)``.  The
+formulas follow the standard algorithms MPICH/ROMIO uses (binomial trees,
+recursive doubling, pairwise exchange), so detailed and analytic modes
+agree to first order — an agreement that tests and an ablation benchmark
+check explicitly.
 
 Notation: ``p`` group size, ``o`` per-message overhead (send+recv), ``L``
 wire latency, ``G`` seconds/byte.
@@ -16,6 +17,7 @@ from __future__ import annotations
 import math
 
 from repro.cluster.network import NetworkParams
+from repro.simmpi.backends import _LeafBackend, register_backend
 
 
 def _olg(params: NetworkParams) -> tuple[float, float, float]:
@@ -101,3 +103,12 @@ def scan_cost(params: NetworkParams, p: int, nbytes: int) -> float:
     """Recursive-doubling inclusive scan."""
     o, lat, g = _olg(params)
     return log2ceil(p) * (o + lat + nbytes * g)
+
+
+class AnalyticBackend(_LeafBackend):
+    """Every collective is a LogP synchronization site (no messages)."""
+
+    name = "analytic"
+
+
+register_backend(AnalyticBackend.name, AnalyticBackend.from_spec, leaf=True)

@@ -20,6 +20,7 @@ from repro.errors import MPIError, TaskFailedError
 from repro.sim.effects import Sleep, WaitEvent
 from repro.sim.engine import Engine, Event
 from repro.simmpi import analytic, collectives_detailed as detailed
+from repro.simmpi.backends import CollectiveBackend, resolve_backend
 from repro.simmpi.p2p import (ANY_SOURCE, ANY_TAG, Mailbox, Message,
                               PostedRecv, Request, RTS_BYTES, Status, waitall)
 from repro.simmpi.payload import Payload, sizeof
@@ -80,16 +81,15 @@ class World:
     def __init__(self, machine: Machine | MachineConfig,
                  net_params: Optional[NetworkParams] = None,
                  topology: Optional[Torus3D] = None,
-                 collective_mode: str = "analytic",
+                 collective_mode: str | CollectiveBackend = "analytic",
                  engine: Optional[Engine] = None):
         if isinstance(machine, MachineConfig):
             machine = Machine(machine)
-        if collective_mode not in ("analytic", "detailed"):
-            raise MPIError(f"unknown collective_mode {collective_mode!r}")
         self.engine = engine or Engine()
         self.machine = machine
         self.network = NetworkModel(self.engine, machine, net_params, topology)
-        self.collective_mode = collective_mode
+        #: default backend for every communicator without an override
+        self.backend = resolve_backend(collective_mode)
         self.nprocs = machine.nprocs
         self._msg_seq = 0
         self._next_ctx = 1
@@ -204,6 +204,11 @@ class World:
     def breakdowns(self) -> list[TimeBreakdown]:
         return [p.breakdown for p in self.procs]
 
+    @property
+    def collective_mode(self) -> str:
+        """Canonical spec string of the world's default backend."""
+        return self.backend.describe()
+
 
 class Communicator:
     """One rank's handle on a process group (MPI communicator analog)."""
@@ -214,13 +219,41 @@ class Communicator:
         self.world = proc.world
         self.rank = desc.rank_of[proc.rank]
         self.size = len(desc.members)
-        self._op_seq = 0
-        self._split_seq = 0
+        # one-element boxes so handles derived via with_backend share the
+        # operation sequencing (sites and collective tags stay unique)
+        self._op_state = [0]
+        self._split_state = [0]
+        #: per-communicator backend override; None = the world's default
+        self._backend: Optional[CollectiveBackend] = None
 
     # -- helpers --------------------------------------------------------
     @property
     def engine(self) -> Engine:
         return self.world.engine
+
+    @property
+    def _op_seq(self) -> int:
+        return self._op_state[0]
+
+    @property
+    def backend(self) -> CollectiveBackend:
+        return self._backend if self._backend is not None else self.world.backend
+
+    def with_backend(self, backend: str | CollectiveBackend) -> "Communicator":
+        """A handle on the same group whose collectives run through
+        ``backend``.
+
+        The derived handle shares all communicator state (context, sites,
+        op sequencing) with the original, so the two may be used
+        interchangeably — but every rank must run any given collective
+        through the same fidelity, so install overrides symmetrically
+        (e.g. from a collectively-agreed hint).
+        """
+        clone = Communicator(self.proc, self.desc)
+        clone._op_state = self._op_state
+        clone._split_state = self._split_state
+        clone._backend = resolve_backend(backend)
+        return clone
 
     @property
     def now(self) -> float:
@@ -343,31 +376,47 @@ class Communicator:
             yield Sleep(exit_time - self.now)
         return results[self.rank]
 
-    def _collective(self, analytic_gen, detailed_gen, category: str
+    def _collective(self, category: str,
+                    analytic_path: Callable[[], Generator],
+                    detailed_path: Callable[[], Generator]
                     ) -> Generator[Any, Any, Any]:
-        self._op_seq += 1
+        """Run one collective through the backend-selected path.
+
+        The paths are thunks; only the chosen generator is ever
+        constructed, so no dead execution path is allocated (and then
+        closed) per call.
+        """
+        self._op_state[0] += 1
         t0 = self.now
         if self.size == 1:
-            result = yield from analytic_gen  # degenerate: immediate
-            detailed_gen.close()
-        elif self.world.collective_mode == "analytic":
-            result = yield from analytic_gen
-            detailed_gen.close()
+            fid = "analytic"  # degenerate: immediate, no traffic either way
         else:
-            result = yield from detailed_gen
-            analytic_gen.close()
+            fid = self.backend.fidelity(category)
+        paths = {"analytic": analytic_path, "detailed": detailed_path}
+        path = paths.get(fid)
+        if path is None:
+            raise MPIError(
+                f"backend {self.backend.describe()!r} selected unknown "
+                f"fidelity {fid!r} for category {category!r}; "
+                f"expected one of {sorted(paths)}"
+            )
+        result = yield from path()
         self._charge(category, t0)
         return result
 
     def barrier(self, category: str = "sync") -> Generator[Any, Any, None]:
         params = self.world.network.params
-        a = self._analytic_site(
-            None,
-            combine=lambda vals: [None] * self.size,
-            cost=lambda vals: analytic.barrier_cost(params, self.size),
-            kind="barrier",
-        )
-        return (yield from self._collective(a, detailed.barrier(self), category))
+
+        def a():
+            return self._analytic_site(
+                None,
+                combine=lambda vals: [None] * self.size,
+                cost=lambda vals: analytic.barrier_cost(params, self.size),
+                kind="barrier",
+            )
+
+        return (yield from self._collective(
+            category, a, lambda: detailed.barrier(self)))
 
     def bcast(self, obj: Any, root: int = 0, nbytes: Optional[int] = None,
               category: str = "sync") -> Generator[Any, Any, Any]:
@@ -381,9 +430,11 @@ class Communicator:
             nb = nbytes if nbytes is not None else sizeof(vals[root])
             return analytic.bcast_cost(params, self.size, nb)
 
-        a = self._analytic_site(obj if self.rank == root else None, combine, cost, kind="bcast")
-        d = detailed.bcast(self, obj, root, nbytes)
-        return (yield from self._collective(a, d, category))
+        return (yield from self._collective(
+            category,
+            lambda: self._analytic_site(obj if self.rank == root else None,
+                                        combine, cost, kind="bcast"),
+            lambda: detailed.bcast(self, obj, root, nbytes)))
 
     def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0,
                nbytes: Optional[int] = None,
@@ -398,9 +449,10 @@ class Communicator:
             nb = nbytes if nbytes is not None else sizeof(vals[0])
             return analytic.reduce_cost(params, self.size, nb)
 
-        a = self._analytic_site(value, combine, cost, kind="reduce")
-        d = detailed.reduce(self, value, op, root, nbytes)
-        return (yield from self._collective(a, d, category))
+        return (yield from self._collective(
+            category,
+            lambda: self._analytic_site(value, combine, cost, kind="reduce"),
+            lambda: detailed.reduce(self, value, op, root, nbytes)))
 
     def allreduce(self, value: Any, op: ReduceOp = SUM,
                   nbytes: Optional[int] = None,
@@ -415,9 +467,11 @@ class Communicator:
             nb = nbytes if nbytes is not None else sizeof(vals[0])
             return analytic.allreduce_cost(params, self.size, nb)
 
-        a = self._analytic_site(value, combine, cost, kind="allreduce")
-        d = detailed.allreduce(self, value, op, nbytes)
-        return (yield from self._collective(a, d, category))
+        return (yield from self._collective(
+            category,
+            lambda: self._analytic_site(value, combine, cost,
+                                        kind="allreduce"),
+            lambda: detailed.allreduce(self, value, op, nbytes)))
 
     def gather(self, value: Any, root: int = 0, nbytes: Optional[int] = None,
                category: str = "sync") -> Generator[Any, Any, Optional[list]]:
@@ -431,9 +485,10 @@ class Communicator:
             nb = nbytes if nbytes is not None else max(sizeof(v) for v in vals.values())
             return analytic.gather_cost(params, self.size, nb)
 
-        a = self._analytic_site(value, combine, cost, kind="gather")
-        d = detailed.gather(self, value, root, nbytes)
-        return (yield from self._collective(a, d, category))
+        return (yield from self._collective(
+            category,
+            lambda: self._analytic_site(value, combine, cost, kind="gather"),
+            lambda: detailed.gather(self, value, root, nbytes)))
 
     def allgather(self, value: Any, nbytes: Optional[int] = None,
                   category: str = "sync") -> Generator[Any, Any, list]:
@@ -450,9 +505,11 @@ class Communicator:
             own = sizeof(vals[0])
             return analytic.allgatherv_cost(params, self.size, total, own)
 
-        a = self._analytic_site(value, combine, cost, kind="allgather")
-        d = detailed.allgather(self, value, nbytes)
-        return (yield from self._collective(a, d, category))
+        return (yield from self._collective(
+            category,
+            lambda: self._analytic_site(value, combine, cost,
+                                        kind="allgather"),
+            lambda: detailed.allgather(self, value, nbytes)))
 
     def alltoall(self, values: list, nbytes_each: Optional[int] = None,
                  category: str = "sync") -> Generator[Any, Any, list]:
@@ -476,9 +533,11 @@ class Communicator:
             max_send = max(sum(sizeof(x) for x in v) for v in vals.values())
             return analytic.alltoallv_cost(params, self.size, max_send, max_send)
 
-        a = self._analytic_site(values, combine, cost, kind="alltoall")
-        d = detailed.alltoall(self, values, nbytes_each)
-        return (yield from self._collective(a, d, category))
+        return (yield from self._collective(
+            category,
+            lambda: self._analytic_site(values, combine, cost,
+                                        kind="alltoall"),
+            lambda: detailed.alltoall(self, values, nbytes_each)))
 
     def scatter(self, values: Optional[list] = None, root: int = 0,
                 nbytes: Optional[int] = None,
@@ -497,10 +556,11 @@ class Communicator:
                 nb = max((sizeof(v) for v in vals[root]), default=0)
             return analytic.scatter_cost(params, self.size, nb)
 
-        a = self._analytic_site(values if self.rank == root else None,
-                                combine, cost, kind="scatter")
-        d = detailed.scatter(self, values, root, nbytes)
-        return (yield from self._collective(a, d, category))
+        return (yield from self._collective(
+            category,
+            lambda: self._analytic_site(values if self.rank == root else None,
+                                        combine, cost, kind="scatter"),
+            lambda: detailed.scatter(self, values, root, nbytes)))
 
     def reduce_scatter_block(self, values: list, op: ReduceOp = SUM,
                              nbytes: Optional[int] = None,
@@ -522,9 +582,11 @@ class Communicator:
             nb = nbytes if nbytes is not None else sizeof(vals[0][0])
             return analytic.alltoall_cost(params, self.size, nb)
 
-        a = self._analytic_site(values, combine, cost, kind="reduce_scatter_block")
-        d = detailed.reduce_scatter_block(self, values, op, nbytes)
-        return (yield from self._collective(a, d, category))
+        return (yield from self._collective(
+            category,
+            lambda: self._analytic_site(values, combine, cost,
+                                        kind="reduce_scatter_block"),
+            lambda: detailed.reduce_scatter_block(self, values, op, nbytes)))
 
     def exscan(self, value: Any, op: ReduceOp = SUM,
                nbytes: Optional[int] = None,
@@ -544,9 +606,10 @@ class Communicator:
             nb = nbytes if nbytes is not None else sizeof(vals[0])
             return analytic.scan_cost(params, self.size, nb)
 
-        a = self._analytic_site(value, combine, cost, kind="exscan")
-        d = detailed.exscan(self, value, op, nbytes)
-        return (yield from self._collective(a, d, category))
+        return (yield from self._collective(
+            category,
+            lambda: self._analytic_site(value, combine, cost, kind="exscan"),
+            lambda: detailed.exscan(self, value, op, nbytes)))
 
     def scan(self, value: Any, op: ReduceOp = SUM, nbytes: Optional[int] = None,
              category: str = "sync") -> Generator[Any, Any, Any]:
@@ -563,9 +626,10 @@ class Communicator:
             nb = nbytes if nbytes is not None else sizeof(vals[0])
             return analytic.scan_cost(params, self.size, nb)
 
-        a = self._analytic_site(value, combine, cost, kind="scan")
-        d = detailed.scan(self, value, op, nbytes)
-        return (yield from self._collective(a, d, category))
+        return (yield from self._collective(
+            category,
+            lambda: self._analytic_site(value, combine, cost, kind="scan"),
+            lambda: detailed.scan(self, value, op, nbytes)))
 
     # ------------------------------------------------------------------
     # communicator split
@@ -576,8 +640,8 @@ class Communicator:
 
         ``color=None`` mirrors MPI_UNDEFINED: the rank gets no communicator.
         """
-        self._split_seq += 1
-        split_seq = self._split_seq
+        self._split_state[0] += 1
+        split_seq = self._split_state[0]
         key = self.rank if key is None else key
         entries = yield from self.allgather((color, key, self.rank),
                                             category=category)
@@ -588,4 +652,6 @@ class Communicator:
         )
         members_world = [self.desc.members[r] for (_, r) in members_group]
         desc = self.world.derive_comm(self.desc, split_seq, color, members_world)
-        return Communicator(self.proc, desc)
+        sub = Communicator(self.proc, desc)
+        sub._backend = self._backend  # children inherit any override
+        return sub
