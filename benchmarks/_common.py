@@ -8,6 +8,10 @@ construction), prints the paper-style table, and writes it to
 
 Scale is controlled by ``REPRO_SCALE``: ``small`` (default, finishes in
 seconds-to-minutes) or ``paper`` (the paper's process counts, minutes+).
+Parallelism is controlled by ``REPRO_JOBS`` (worker-process count; the
+figure functions pick it up through their default executor) and the
+persistent run cache by ``REPRO_RUNCACHE`` (``0`` disables, a path
+relocates it) — see :mod:`repro.harness.parallel`.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ import os
 import pathlib
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+RUNCACHE_DIR = pathlib.Path(__file__).parent / ".runcache"
 
 
 def scale() -> str:
@@ -23,6 +28,25 @@ def scale() -> str:
     if s not in ("small", "paper"):
         raise ValueError(f"REPRO_SCALE must be 'small' or 'paper', got {s!r}")
     return s
+
+
+def jobs() -> int:
+    """Worker-process count from ``REPRO_JOBS`` (default 1 = serial)."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ValueError(f"REPRO_JOBS must be an integer, got {raw!r}")
+
+
+def executor():
+    """The environment-configured experiment executor (REPRO_JOBS /
+    REPRO_RUNCACHE); what every figure benchmark evaluates through."""
+    from repro.harness.parallel import ExperimentExecutor
+
+    return ExperimentExecutor.from_env()
 
 
 def procs_for(small: tuple[int, ...], paper: tuple[int, ...]) -> tuple[int, ...]:

@@ -2,12 +2,20 @@
 
 Usage::
 
-    python -m repro.cli figure 7 [--scale paper]
+    python -m repro.cli figure 7 [--scale paper] [-j 4]
     python -m repro.cli figure 9 --collective-mode hybrid:sync=analytic
-    python -m repro.cli figures            # all of them
-    python -m repro.cli calibrate          # platform micro-benchmarks
-    python -m repro.cli backends           # collective-fidelity backends
-    python -m repro.cli list               # what is available
+    python -m repro.cli figures -j 4        # all of them, 4 workers
+    python -m repro.cli calibrate           # platform micro-benchmarks
+    python -m repro.cli backends            # collective-fidelity backends
+    python -m repro.cli cache [--clear]     # inspect / clear the run cache
+    python -m repro.cli list                # what is available
+
+``--jobs/-j N`` evaluates each figure's experiment grid on an N-worker
+process pool (default 1 — serial, results are bit-identical either way);
+``--no-cache`` bypasses the persistent run cache under
+``benchmarks/.runcache/``.  The ``REPRO_JOBS`` / ``REPRO_RUNCACHE``
+environment variables set the defaults (see
+:mod:`repro.harness.parallel`).
 
 ``--collective-mode`` selects the collective-fidelity backend
 ('analytic', 'detailed', or 'hybrid[:<cat>=<fidelity>,...]') for the
@@ -22,7 +30,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.harness import figures
 
@@ -42,17 +50,33 @@ FIGURES: dict[str, Callable] = {
 _SCALED = {"1", "2", "6", "7", "8", "9", "10", "11"}
 
 
+def _make_executor(jobs: Optional[int], no_cache: bool):
+    """An executor honoring flags first, then the environment."""
+    from repro.harness.parallel import ExperimentExecutor
+
+    overrides = {}
+    if jobs is not None:
+        overrides["jobs"] = jobs
+    if no_cache:
+        overrides["cache"] = False
+    return ExperimentExecutor.from_env(**overrides)
+
+
 def _run_figure(number: str, scale: str, chart: bool = False,
-                collective_mode: str | None = None) -> int:
+                collective_mode: str | None = None,
+                executor=None) -> int:
     fn = FIGURES.get(number)
     if fn is None:
         print(f"unknown figure {number!r}; available: "
               f"{', '.join(sorted(FIGURES, key=lambda s: int(s)))}",
               file=sys.stderr)
         return 2
+    params = inspect.signature(fn).parameters
     kwargs = {"scale": scale} if number in _SCALED else {}
+    if executor is not None and "executor" in params:
+        kwargs["executor"] = executor
     if collective_mode is not None:
-        if "collective_mode" not in inspect.signature(fn).parameters:
+        if "collective_mode" not in params:
             print(f"figure {number} does not support --collective-mode",
                   file=sys.stderr)
             return 2
@@ -75,6 +99,15 @@ def _run_figure(number: str, scale: str, chart: bool = False,
     return 0
 
 
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
+                        help="evaluate experiment grids on N worker "
+                             "processes (default: $REPRO_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent run cache "
+                             "(benchmarks/.runcache/)")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -91,23 +124,32 @@ def main(argv: list[str] | None = None) -> int:
     p_fig.add_argument("--collective-mode", default=None, metavar="SPEC",
                        help="collective-fidelity backend for the sweep "
                             "(analytic, detailed, hybrid[:<spec>])")
+    _add_parallel_flags(p_fig)
 
     p_all = sub.add_parser("figures", help="regenerate every figure")
     p_all.add_argument("--scale", choices=("small", "paper"),
                        default="small")
+    _add_parallel_flags(p_all)
 
     sub.add_parser("calibrate", help="run platform micro-benchmarks")
     sub.add_parser("backends", help="list collective-fidelity backends")
+    p_cache = sub.add_parser("cache",
+                             help="inspect or clear the persistent run cache")
+    p_cache.add_argument("--clear", action="store_true",
+                         help="delete every cached run result")
     sub.add_parser("list", help="list available figures")
 
     args = parser.parse_args(argv)
     if args.command == "figure":
+        executor = _make_executor(args.jobs, args.no_cache)
         return _run_figure(args.number, args.scale, chart=args.chart,
-                           collective_mode=args.collective_mode)
+                           collective_mode=args.collective_mode,
+                           executor=executor)
     if args.command == "figures":
+        executor = _make_executor(args.jobs, args.no_cache)
         status = 0
         for number in sorted(FIGURES, key=lambda s: int(s)):
-            status |= _run_figure(number, args.scale)
+            status |= _run_figure(number, args.scale, executor=executor)
             print()
         return status
     if args.command == "calibrate":
@@ -121,6 +163,16 @@ def main(argv: list[str] | None = None) -> int:
 
         for name in available_backends():
             print(f"{name:>10}: {resolve_backend(name).describe()}")
+        return 0
+    if args.command == "cache":
+        from repro.harness.parallel import RunCache
+
+        cache = RunCache()
+        if args.clear:
+            print(f"removed {cache.clear()} entries from {cache.root}")
+        else:
+            print(f"run cache: {cache.root}")
+            print(f"entries:   {len(cache)}")
         return 0
     if args.command == "list":
         for number in sorted(FIGURES, key=lambda s: int(s)):

@@ -8,12 +8,18 @@ rank, returning aggregate bandwidth and the per-category time breakdown.
 """
 
 from repro.harness.runner import ExperimentConfig, RunResult, run_experiment
+from repro.harness.parallel import (ExperimentExecutor, ExperimentTask,
+                                    RunCache, register_workload)
 from repro.harness.report import format_table, mb_per_s
 from repro.harness.sweep import Sweep, SweepPoint
 
 __all__ = [
     "ExperimentConfig",
+    "ExperimentExecutor",
+    "ExperimentTask",
+    "RunCache",
     "RunResult",
+    "register_workload",
     "run_experiment",
     "format_table",
     "mb_per_s",

@@ -7,6 +7,15 @@ the defaults finish in seconds for tests; ``scale='paper'`` uses the
 paper's process counts and per-process volumes (minutes of wall time,
 used by the benchmark harness and EXPERIMENTS.md).
 
+Every figure's point grid is a batch of independent simulations, so the
+functions build picklable :class:`~repro.harness.parallel.ExperimentTask`
+descriptors and evaluate them through an
+:class:`~repro.harness.parallel.ExperimentExecutor` — pass ``executor=``
+to control parallelism and caching, or set ``REPRO_JOBS`` /
+``REPRO_RUNCACHE`` in the environment (the default executor honors
+both; ``jobs=1`` reproduces the old serial evaluation order exactly,
+and results are bit-identical at any job count).
+
 Absolute MB/s depend on the simulated hardware constants and are not
 expected to match Jaguar; the claims under test are the *shapes*: who
 wins, by roughly what factor, and where optima/crossovers fall.
@@ -15,17 +24,16 @@ wins, by roughly what factor, and where optima/crossovers fall.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import partial
 from typing import Any, Callable, Optional, Sequence
 
 from repro.cluster import Machine, MachineConfig
+from repro.harness.parallel import (ExperimentExecutor, ExperimentTask,
+                                    default_executor)
 from repro.harness.report import format_table, mb_per_s
-from repro.harness.runner import ExperimentConfig, RunResult, run_experiment
-from repro.mpiio.hints import IOHints
+from repro.harness.runner import ExperimentConfig, RunResult
 from repro.parcoll import distribute_aggregators
 from repro.workloads import (BTIOConfig, FlashIOConfig, IORConfig,
-                             TileIOConfig, btio_program, flash_io_program,
-                             ior_program, tile_io_program)
+                             TileIOConfig)
 
 #: Lustre setup of the paper's testbed: 72 OSTs, 64-way striping, 4 MB
 PAPER_LUSTRE = {"n_osts": 72, "default_stripe_count": 64,
@@ -77,14 +85,20 @@ def _tile_cfg(scale: str, hints: Optional[dict] = None,
 # ---------------------------------------------------------------------------
 def fig01_collective_wall(procs: Sequence[int] = (16, 32, 64, 128, 256),
                           scale: str = "small",
-                          collective_mode: str = "analytic") -> FigureResult:
+                          collective_mode: str = "analytic",
+                          executor: Optional[ExperimentExecutor] = None
+                          ) -> FigureResult:
     """Sync share of MPI-Tile-IO collective-write time vs process count."""
+    ex = executor or default_executor()
+    wl = _tile_cfg(scale, hints={"protocol": "ext2ph"})
+    results = ex.run_many([
+        ExperimentTask(_platform(p, collective_mode=collective_mode),
+                       "tile_io", wl)
+        for p in procs
+    ])
     rows = []
     shares = {}
-    for p in procs:
-        wl = _tile_cfg(scale, hints={"protocol": "ext2ph"})
-        res = run_experiment(_platform(p, collective_mode=collective_mode),
-                             partial(tile_io_program, wl))
+    for p, res in zip(procs, results):
         share = res.category_share("sync")
         shares[p] = share
         rows.append([p, round(100 * share, 1),
@@ -101,13 +115,18 @@ def fig01_collective_wall(procs: Sequence[int] = (16, 32, 64, 128, 256),
 
 
 def fig02_breakdown(procs: Sequence[int] = (16, 32, 64, 128, 256),
-                    scale: str = "small") -> FigureResult:
+                    scale: str = "small",
+                    executor: Optional[ExperimentExecutor] = None
+                    ) -> FigureResult:
     """Per-category time breakdown of collective I/O vs process count."""
+    ex = executor or default_executor()
+    wl = _tile_cfg(scale, hints={"protocol": "ext2ph"})
+    results = ex.run_many([
+        ExperimentTask(_platform(p), "tile_io", wl) for p in procs
+    ])
     rows = []
     series: dict[str, dict[int, float]] = {"sync": {}, "exchange": {}, "io": {}}
-    for p in procs:
-        wl = _tile_cfg(scale, hints={"protocol": "ext2ph"})
-        res = run_experiment(_platform(p), partial(tile_io_program, wl))
+    for p, res in zip(procs, results):
         row = [p]
         for cat in ("sync", "exchange", "io"):
             t = res.breakdown.get(cat, {}).get("max", 0.0)
@@ -155,7 +174,8 @@ def fig05_aggregator_distribution() -> FigureResult:
 # ---------------------------------------------------------------------------
 def fig06_ior(procs: Sequence[int] = (32, 128),
               group_counts: Sequence[int] = (2, 4, 8, 16),
-              scale: str = "small") -> FigureResult:
+              scale: str = "small",
+              executor: Optional[ExperimentExecutor] = None) -> FigureResult:
     """IOR contiguous collective write bandwidth for ParColl-N vs baseline."""
     # enough transfers per block that subgroups can drift apart; the paper
     # writes 512 MB/process in 4 MB units
@@ -163,8 +183,9 @@ def fig06_ior(procs: Sequence[int] = (32, 128),
         block, xfer = 128 << 20, 4 << 20
     else:
         block, xfer = 64 << 20, 4 << 20
-    rows = []
-    series: dict[str, dict[int, float]] = {}
+    ex = executor or default_executor()
+    grid: list[tuple[int, str]] = []
+    tasks: list[ExperimentTask] = []
     for p in procs:
         variants: list[tuple[str, dict]] = [("Cray (ext2ph)",
                                              {"protocol": "ext2ph"})]
@@ -173,11 +194,16 @@ def fig06_ior(procs: Sequence[int] = (32, 128),
                      for g in group_counts if g <= p]
         for name, hints in variants:
             wl = IORConfig(block_size=block, transfer_size=xfer, hints=hints)
-            res = run_experiment(_platform(p), partial(ior_program, wl))
-            bw = mb_per_s(res.write_bandwidth)
-            series.setdefault(name, {})[p] = bw
-            rows.append([p, name, round(bw, 0),
-                         round(res.breakdown["sync"]["max"], 2)])
+            grid.append((p, name))
+            tasks.append(ExperimentTask(_platform(p), "ior", wl))
+    results = ex.run_many(tasks)
+    rows = []
+    series: dict[str, dict[int, float]] = {}
+    for (p, name), res in zip(grid, results):
+        bw = mb_per_s(res.write_bandwidth)
+        series.setdefault(name, {})[p] = bw
+        rows.append([p, name, round(bw, 0),
+                     round(res.breakdown["sync"]["max"], 2)])
     return FigureResult(
         figure="Figure 6",
         title="IOR collective write bandwidth (MB/s)",
@@ -194,18 +220,23 @@ def fig06_ior(procs: Sequence[int] = (32, 128),
 def fig07_tileio_groups(nprocs: int = 64,
                         group_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
                         scale: str = "small",
-                        include_read: bool = True) -> FigureResult:
+                        include_read: bool = True,
+                        executor: Optional[ExperimentExecutor] = None
+                        ) -> FigureResult:
     """Tile-IO write/read bandwidth vs number of subgroups."""
-    rows = []
-    series: dict[str, dict[int, float]] = {"write": {}, "read": {},
-                                           "sync_max": {}, "sync_share": {}}
+    ex = executor or default_executor()
     mode = "both" if include_read else "write"
+    tasks = []
     for g in group_counts:
         hints = ({"protocol": "ext2ph"} if g == 1
                  else {"protocol": "parcoll", "parcoll_ngroups": g})
         wl = _tile_cfg(scale, hints=hints, mode=mode)
-        res = run_experiment(_platform(nprocs),
-                             partial(tile_io_program, wl))
+        tasks.append(ExperimentTask(_platform(nprocs), "tile_io", wl))
+    results = ex.run_many(tasks)
+    rows = []
+    series: dict[str, dict[int, float]] = {"write": {}, "read": {},
+                                           "sync_max": {}, "sync_share": {}}
+    for g, res in zip(group_counts, results):
         wbw = mb_per_s(res.write_bandwidth)
         rbw = mb_per_s(res.read_bandwidth)
         series["write"][g] = wbw
@@ -229,10 +260,12 @@ def fig07_tileio_groups(nprocs: int = 64,
 
 def fig08_sync_reduction(nprocs: int = 64,
                          group_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
-                         scale: str = "small") -> FigureResult:
+                         scale: str = "small",
+                         executor: Optional[ExperimentExecutor] = None
+                         ) -> FigureResult:
     """Absolute and relative synchronization cost vs subgroup count."""
     base = fig07_tileio_groups(nprocs, group_counts, scale,
-                               include_read=False)
+                               include_read=False, executor=executor)
     rows = []
     base_sync = base.series["sync_max"][group_counts[0]]
     for g in group_counts:
@@ -257,7 +290,9 @@ def fig08_sync_reduction(nprocs: int = 64,
 def fig09_scalability(procs: Sequence[int] = (32, 64, 128, 256),
                       scale: str = "small",
                       groups_for: Optional[Callable[[int], list]] = None,
-                      collective_mode: str = "analytic") -> FigureResult:
+                      collective_mode: str = "analytic",
+                      executor: Optional[ExperimentExecutor] = None
+                      ) -> FigureResult:
     """Best-ParColl vs baseline tile-IO write bandwidth vs process count.
 
     The paper plots the *best* ParColl point per process count; we try a
@@ -266,26 +301,43 @@ def fig09_scalability(procs: Sequence[int] = (32, 64, 128, 256),
     keep the winner.  ``collective_mode`` selects the fidelity backend
     ('analytic', 'detailed', 'hybrid[:<spec>]'); the analytic/hybrid
     backends are what make the large-rank end of this sweep affordable.
+    The whole (process count x variant) grid evaluates as one executor
+    batch — with ``jobs=N`` the candidates run concurrently.
     """
     groups_for = groups_for or (
         lambda p: sorted({max(2, p // 32), max(2, p // 16)}))
-    rows = []
-    series: dict[str, dict[int, float]] = {"baseline": {}, "parcoll": {}}
+    ex = executor or default_executor()
+    grid: list[tuple[int, Optional[int]]] = []  # (procs, ngroups|None)
+    tasks = []
     for p in procs:
         wl_b = _tile_cfg(scale, hints={"protocol": "ext2ph"})
-        res_b = run_experiment(_platform(p, collective_mode=collective_mode),
-                               partial(tile_io_program, wl_b))
-        best_g, best_bw = None, -1.0
+        grid.append((p, None))
+        tasks.append(ExperimentTask(
+            _platform(p, collective_mode=collective_mode), "tile_io", wl_b))
         for g in groups_for(p):
             wl_p = _tile_cfg(scale, hints={"protocol": "parcoll",
                                            "parcoll_ngroups": g})
-            res_p = run_experiment(_platform(p,
-                                             collective_mode=collective_mode),
-                                   partial(tile_io_program, wl_p))
+            grid.append((p, g))
+            tasks.append(ExperimentTask(
+                _platform(p, collective_mode=collective_mode), "tile_io",
+                wl_p))
+    results = ex.run_many(tasks)
+    baseline: dict[int, RunResult] = {}
+    candidates: dict[int, list[tuple[int, RunResult]]] = {}
+    for (p, g), res in zip(grid, results):
+        if g is None:
+            baseline[p] = res
+        else:
+            candidates.setdefault(p, []).append((g, res))
+    rows = []
+    series: dict[str, dict[int, float]] = {"baseline": {}, "parcoll": {}}
+    for p in procs:
+        best_g, best_bw = None, -1.0
+        for g, res_p in candidates.get(p, []):
             bw = mb_per_s(res_p.write_bandwidth)
             if bw > best_bw:
                 best_g, best_bw = g, bw
-        b, q = mb_per_s(res_b.write_bandwidth), best_bw
+        b, q = mb_per_s(baseline[p].write_bandwidth), best_bw
         series["baseline"][p] = b
         series["parcoll"][p] = q
         rows.append([p, best_g, round(b, 0), round(q, 0),
@@ -307,7 +359,8 @@ def fig09_scalability(procs: Sequence[int] = (32, 64, 128, 256),
 # ---------------------------------------------------------------------------
 def fig10_btio(procs: Sequence[int] = (16, 64, 144, 256),
                scale: str = "small",
-               ngroups: Optional[Callable[[int], int]] = None
+               ngroups: Optional[Callable[[int], int]] = None,
+               executor: Optional[ExperimentExecutor] = None
                ) -> FigureResult:
     """BT-IO full-mode write bandwidth, ParColl vs baseline, vs procs.
 
@@ -323,16 +376,21 @@ def fig10_btio(procs: Sequence[int] = (16, 64, 144, 256),
     # 144 is divisible by q = 4, 8, 12, 16 and 24 (procs up to 576).
     grid = 144
     nsteps = 10 if scale == "paper" else 6
-    rows = []
-    series: dict[str, dict[int, float]] = {"baseline": {}, "parcoll": {}}
+    ex = executor or default_executor()
+    tasks = []
     for p in procs:
         common = dict(grid_points=grid, nsteps=nsteps,
                       compute_seconds=0.05, compute_jitter=0.03)
         base = BTIOConfig(hints={"protocol": "ext2ph"}, **common)
-        res_b = run_experiment(_platform(p), partial(btio_program, base))
         pc = BTIOConfig(hints={"protocol": "parcoll",
                                "parcoll_ngroups": ngroups(p)}, **common)
-        res_p = run_experiment(_platform(p), partial(btio_program, pc))
+        tasks.append(ExperimentTask(_platform(p), "btio", base))
+        tasks.append(ExperimentTask(_platform(p), "btio", pc))
+    results = ex.run_many(tasks)
+    rows = []
+    series: dict[str, dict[int, float]] = {"baseline": {}, "parcoll": {}}
+    for i, p in enumerate(procs):
+        res_b, res_p = results[2 * i], results[2 * i + 1]
         b = mb_per_s(res_b.io_phase_bandwidth)
         q = mb_per_s(res_p.io_phase_bandwidth)
         series["baseline"][p] = b
@@ -355,7 +413,9 @@ def fig10_btio(procs: Sequence[int] = (16, 64, 144, 256),
 # Figure 11 — Flash I/O
 # ---------------------------------------------------------------------------
 def fig11_flashio(nprocs: int = 64, ngroups: int = 8,
-                  scale: str = "small") -> FigureResult:
+                  scale: str = "small",
+                  executor: Optional[ExperimentExecutor] = None
+                  ) -> FigureResult:
     """Flash checkpoint bandwidth: baseline vs ParColl, default and
     reduced aggregator counts, plus the non-collective disaster case."""
     if scale == "paper":
@@ -378,12 +438,15 @@ def fig11_flashio(nprocs: int = 64, ngroups: int = 8,
           "cb_nodes": reduced_aggs}),
         ("Cray w/o Coll", {"protocol": "independent"}),
     ]
+    ex = executor or default_executor()
+    results = ex.run_many([
+        ExperimentTask(_platform(nprocs), "flash_io",
+                       FlashIOConfig(hints=hints, **fcfg))
+        for _name, hints in variants
+    ])
     rows = []
     series: dict[str, float] = {}
-    for name, hints in variants:
-        wl = FlashIOConfig(hints=hints, **fcfg)
-        res = run_experiment(_platform(nprocs),
-                             partial(flash_io_program, wl))
+    for (name, _hints), res in zip(variants, results):
         bw = mb_per_s(res.write_bandwidth)
         series[name] = bw
         rows.append([name, round(bw, 0),

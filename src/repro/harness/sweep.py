@@ -5,14 +5,25 @@ any hint) over a workload factory, memoizing results so that optimum
 searches and multi-figure reports reuse runs.  The paper's "empirically
 evaluate the impact of the group size" methodology (Section 4) is exactly
 this object.
+
+Sweep points are independent simulations, so batches evaluate through an
+:class:`~repro.harness.parallel.ExperimentExecutor` when one is attached:
+give the sweep a ``task`` descriptor maker (axis value ->
+:class:`~repro.harness.parallel.ExperimentTask`) and an ``executor``, and
+:meth:`Sweep.run` / :meth:`Sweep.best` / :meth:`Sweep.golden_section_max`
+evaluate their misses as one parallel, disk-cached batch.  Without them
+the sweep runs serially through ``make``, exactly as before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional, TYPE_CHECKING
 
 from repro.harness.report import format_table, mb_per_s
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.parallel import ExperimentExecutor, ExperimentTask
 from repro.harness.runner import ExperimentConfig, Program, RunResult, run_experiment
 
 
@@ -33,30 +44,65 @@ class Sweep:
     """A one-axis experiment sweep.
 
     ``make`` maps an axis value to ``(ExperimentConfig, program)``; points
-    are evaluated lazily and cached by value.
+    are evaluated lazily and cached by value.  ``task`` (optional) maps an
+    axis value to a picklable :class:`ExperimentTask` descriptor; together
+    with ``executor`` it enables batch-parallel evaluation and the
+    persistent run cache.  Either ``make`` or ``task`` must be given.
     """
 
     name: str
-    make: Callable[[Any], tuple[ExperimentConfig, Program]]
+    make: Optional[Callable[[Any], tuple[ExperimentConfig, Program]]] = None
+    task: Optional[Callable[[Any], "ExperimentTask"]] = None
+    executor: Optional["ExperimentExecutor"] = None
     _cache: dict[Any, SweepPoint] = field(default_factory=dict)
 
-    def at(self, value: Any) -> SweepPoint:
-        point = self._cache.get(value)
-        if point is None:
-            cfg, program = self.make(value)
-            point = SweepPoint(value, run_experiment(cfg, program))
-            self._cache[value] = point
-        return point
+    def __post_init__(self) -> None:
+        if self.make is None and self.task is None:
+            raise ValueError("a Sweep needs 'make' or 'task'")
 
-    def run(self, values: Iterable[Any]) -> list[SweepPoint]:
-        return [self.at(v) for v in values]
+    # -- evaluation -------------------------------------------------------
+    def _evaluate(self, values: list[Any],
+                  executor: Optional["ExperimentExecutor"] = None) -> None:
+        """Fill ``_cache`` for every missing value, batched when possible."""
+        missing = []
+        for v in values:
+            if v not in self._cache and v not in missing:
+                missing.append(v)
+        if not missing:
+            return
+        executor = executor if executor is not None else self.executor
+        if self.task is not None:
+            ex = executor
+            if ex is None:
+                from repro.harness.parallel import ExperimentExecutor
+
+                ex = ExperimentExecutor(jobs=1, cache=False)
+            results = ex.run_many([self.task(v) for v in missing])
+            for v, res in zip(missing, results):
+                self._cache[v] = SweepPoint(v, res)
+        else:
+            for v in missing:
+                cfg, program = self.make(v)
+                self._cache[v] = SweepPoint(v, run_experiment(cfg, program))
+
+    def at(self, value: Any) -> SweepPoint:
+        if value not in self._cache:
+            self._evaluate([value])
+        return self._cache[value]
+
+    def run(self, values: Iterable[Any],
+            executor: Optional["ExperimentExecutor"] = None
+            ) -> list[SweepPoint]:
+        values = list(values)
+        self._evaluate(values, executor)
+        return [self._cache[v] for v in values]
 
     def best(self, values: Iterable[Any],
-             key: Optional[Callable[[SweepPoint], float]] = None
-             ) -> SweepPoint:
+             key: Optional[Callable[[SweepPoint], float]] = None,
+             executor: Optional["ExperimentExecutor"] = None) -> SweepPoint:
         """The point maximizing ``key`` (default: write bandwidth)."""
         key = key or (lambda pt: pt.write_mb_s)
-        points = self.run(values)
+        points = self.run(values, executor)
         return max(points, key=key)
 
     def golden_section_max(self, lo: int, hi: int,
@@ -68,6 +114,11 @@ class Sweep:
         falls monotonically, sync cost rises monotonically), so a ternary
         search over the power-of-two ladder converges in a handful of
         runs — the adaptive alternative to a full sweep.
+
+        ``max_evals`` bounds *fresh* experiment runs: probes answered from
+        the sweep's memo (or the executor's run cache) are free and do not
+        count against the budget.  Each probe pair evaluates as one batch,
+        so an attached executor runs the two probes concurrently.
         """
         key = key or (lambda pt: pt.write_mb_s)
         ladder = []
@@ -84,9 +135,10 @@ class Sweep:
             m2 = b - (b - a) // 3
             if m1 == m2:
                 break
-            f1 = key(self.at(ladder[m1]))
-            f2 = key(self.at(ladder[m2]))
-            evals += 2
+            probes = [ladder[m1], ladder[m2]]
+            evals += sum(1 for p in set(probes) if p not in self._cache)
+            pt1, pt2 = self.run(probes)
+            f1, f2 = key(pt1), key(pt2)
             if f1 < f2:
                 a = m1 + 1
             else:

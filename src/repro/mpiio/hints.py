@@ -45,7 +45,11 @@ class IOHints:
     #: reuses it (the paper partitions at file-view initiation; subsequent
     #: calls coordinate only within subgroups, letting groups drift apart);
     #: 'always' re-plans globally every call (fully general, but keeps one
-    #: global collective per call)
+    #: global collective per call); 'auto' reuses the grouping like 'once'
+    #: but re-plans (globally) when the stationarity guard would otherwise
+    #: reject the call — at the price of one tiny global agreement
+    #: allreduce per call, so subgroups re-synchronize like 'always' but
+    #: skip the extent allgather and regrouping while the pattern holds
     parcoll_replan: str = "once"
     #: align file-domain boundaries to stripe boundaries
     align_file_domains: bool = False
@@ -86,9 +90,9 @@ class IOHints:
                 f"parcoll_data_path must be 'physical' or 'logical', "
                 f"got {self.parcoll_data_path!r}"
             )
-        if self.parcoll_replan not in ("once", "always"):
+        if self.parcoll_replan not in ("once", "always", "auto"):
             raise MPIIOError(
-                f"parcoll_replan must be 'once' or 'always', "
+                f"parcoll_replan must be 'once', 'always' or 'auto', "
                 f"got {self.parcoll_replan!r}"
             )
         if self.cb_config_ranks is not None:

@@ -30,6 +30,39 @@ from repro.mpiio.two_phase import IOEnv, collective_read, collective_write
 from repro.parcoll.aggregator_dist import distribute_aggregators
 from repro.parcoll.intermediate_view import IntermediateView
 from repro.parcoll.partition import PartitionPlan, plan_partition
+from repro.simmpi.reduce_ops import MAX
+
+
+def _stale_reason(plan: PartitionPlan, planned: tuple, lo: int, hi: int,
+                  nbytes: int) -> Optional[str]:
+    """Why a cached grouping no longer matches this access (None = fits).
+
+    Intermediate-view plans require the same per-rank byte counts, and
+    direct plans require either unchanged extents or per-rank
+    *contiguous* accesses — a contiguous access that merely moved or
+    resized regroups safely under the documented rank-monotone contract
+    (Flash's successive datasets); a fragmented access whose extents
+    drift would silently run every subgroup over a stale File Area
+    grouping.
+    """
+    if plan.uses_intermediate_view:
+        if nbytes != planned[2]:
+            return ("access size changed under parcoll_replan='once' "
+                    "with intermediate file views; set "
+                    "parcoll_replan='always' (or 'auto') for "
+                    "non-stationary patterns")
+        return None
+    if (lo, hi, nbytes) != planned:
+        held_contig = planned[1] - planned[0] == planned[2]
+        now_contig = hi - lo == nbytes or nbytes == 0
+        if not (held_contig and now_contig):
+            return ("extents of a non-contiguous access changed under "
+                    f"parcoll_replan='once' (planned lo/hi/nbytes "
+                    f"{planned}, now {(lo, hi, nbytes)}); the cached "
+                    "grouping no longer matches the pattern — set "
+                    "parcoll_replan='always' (or 'auto') for "
+                    "non-stationary patterns")
+    return None
 
 
 def _prepare(env: IOEnv, segs: Segments, cache: dict
@@ -41,50 +74,44 @@ def _prepare(env: IOEnv, segs: Segments, cache: dict
     as the paper does at file-view initiation.  Later calls reuse the
     grouping and coordinate purely within subgroups, which is what lets
     subgroups drift apart instead of re-synchronizing globally per call.
-    The pattern must stay stationary: intermediate-view plans require the
-    same per-rank byte counts, and direct plans require either unchanged
-    extents or per-rank *contiguous* accesses (which regroup safely under
-    the rank-monotone contract).  Fragmented accesses whose extents drift
-    raise :class:`ParCollError` instead of silently reusing the stale
-    grouping; use 'always' for such patterns.
+    The pattern must stay stationary (see :func:`_stale_reason`);
+    fragmented accesses whose extents drift raise :class:`ParCollError`
+    instead of silently reusing the stale grouping.
+
+    ``parcoll_replan='auto'`` converts that error into a global re-plan:
+    each call runs one tiny agreement allreduce (all ranks must take the
+    same branch — drift on *any* rank forces everyone back through the
+    extent allgather), so non-stationary patterns work while stationary
+    stretches still skip the allgather and regrouping.  The agreement
+    collective re-synchronizes the subgroups like 'always' does, which
+    is the price of generality — 'once' remains the paper's (and the
+    default) behavior.  ``'always'`` re-plans unconditionally.
     """
     comm = env.comm
     offs, lens = segs
     lo = int(offs[0]) if offs.size else -1
     hi = int(offs[-1] + lens[-1]) if offs.size else -1
     nbytes = int(lens.sum())
-    if env.hints.parcoll_replan == "once":
+    replan = env.hints.parcoll_replan
+    if replan in ("once", "auto"):
         held = cache.get(("plan", comm.rank))
         if held is not None:
             plan, subcomm, sub_hints, planned = held
-            iview = None
-            if plan.uses_intermediate_view:
-                if nbytes != planned[2]:
-                    raise ParCollError(
-                        "access size changed under parcoll_replan='once' "
-                        "with intermediate file views; set "
-                        "parcoll_replan='always' for non-stationary patterns"
-                    )
-                iview = IntermediateView(segs, plan.logical_prefix[comm.rank])
-            elif (lo, hi, nbytes) != planned:
-                # The grouping was planned from different extents.  A
-                # per-rank *contiguous* access that merely moved or
-                # resized regroups safely under the documented
-                # rank-monotone contract (Flash's successive datasets);
-                # a fragmented access whose extents drift would silently
-                # run every subgroup over a stale File Area grouping.
-                held_contig = planned[1] - planned[0] == planned[2]
-                now_contig = hi - lo == nbytes or nbytes == 0
-                if not (held_contig and now_contig):
-                    raise ParCollError(
-                        "extents of a non-contiguous access changed under "
-                        f"parcoll_replan='once' (planned lo/hi/nbytes "
-                        f"{planned}, now {(lo, hi, nbytes)}); the cached "
-                        "grouping no longer matches the pattern — set "
-                        "parcoll_replan='always' for non-stationary "
-                        "patterns"
-                    )
-            return plan, subcomm, sub_hints, iview
+            stale = _stale_reason(plan, planned, lo, hi, nbytes)
+            reuse = stale is None
+            if replan == "auto":
+                any_stale = yield from comm.allreduce(
+                    0 if reuse else 1, op=MAX, nbytes=4, category="sync")
+                reuse = not any_stale
+            elif stale is not None:
+                raise ParCollError(stale)
+            if reuse:
+                iview = None
+                if plan.uses_intermediate_view:
+                    iview = IntermediateView(segs,
+                                             plan.logical_prefix[comm.rank])
+                return plan, subcomm, sub_hints, iview
+            # 'auto' with drift somewhere: fall through to a global re-plan
     extents = yield from comm.allgather((lo, hi, nbytes), category="sync")
     plan = plan_partition(extents, env.hints.parcoll_ngroups,
                           allow_intermediate=env.hints.parcoll_intermediate_views)
@@ -112,7 +139,7 @@ def _prepare(env: IOEnv, segs: Segments, cache: dict
         cached = (subcomm, sub_hints)
         cache[key] = cached
     subcomm, sub_hints = cached
-    if env.hints.parcoll_replan == "once":
+    if env.hints.parcoll_replan in ("once", "auto"):
         cache[("plan", comm.rank)] = (plan, subcomm, sub_hints,
                                       (lo, hi, nbytes))
     iview = None

@@ -16,7 +16,7 @@ import numpy as np
 from repro.cluster.machine import Machine, MachineConfig
 from repro.cluster.network import NetworkModel, NetworkParams
 from repro.cluster.topology import Torus3D
-from repro.errors import MPIError, TaskFailedError
+from repro.errors import MPIError, ParCollError, TaskFailedError
 from repro.sim.effects import Sleep, WaitEvent
 from repro.sim.engine import Engine, Event
 from repro.simmpi import analytic, collectives_detailed as detailed
@@ -50,7 +50,7 @@ class Proc:
 class CommDescriptor:
     """State shared by every rank's handle on one communicator."""
 
-    __slots__ = ("ctx", "members", "rank_of", "sites")
+    __slots__ = ("ctx", "members", "rank_of", "sites", "fidelities")
 
     def __init__(self, ctx: int, members: list[int]):
         self.ctx = ctx
@@ -59,6 +59,9 @@ class CommDescriptor:
         self.rank_of = {wr: i for i, wr in enumerate(self.members)}
         #: analytic collective sites keyed by op sequence number
         self.sites: dict[int, "_Site"] = {}
+        #: per-op fidelity ledger for the backend symmetry check:
+        #: op seq -> [fidelity, category, first group rank, arrivals]
+        self.fidelities: dict[int, list] = {}
 
 
 class _Site:
@@ -347,6 +350,32 @@ class Communicator:
     def _charge(self, category: str, t0: float) -> None:
         self.proc.breakdown.add(category, self.now - t0)
 
+    def _check_fidelity_symmetry(self, fid: str, category: str) -> None:
+        """Record this rank's fidelity choice for the current op and
+        raise if it diverges from what another rank already chose."""
+        ledger = self.desc.fidelities
+        key = self._op_seq
+        entry = ledger.get(key)
+        if entry is None:
+            ledger[key] = [fid, category, self.rank, 1]
+            return
+        held_fid, held_cat, first_rank, arrivals = entry
+        if fid != held_fid:
+            raise ParCollError(
+                f"collective backend divergence on communicator "
+                f"{self.desc.ctx} at op #{key}: rank {self.rank} "
+                f"(backend {self.backend.describe()!r}) selected "
+                f"{fid!r} for category {category!r} while rank "
+                f"{first_rank} selected {held_fid!r} for "
+                f"{held_cat!r} — all ranks must run a collective "
+                "through the same fidelity; install backend overrides "
+                "symmetrically (Communicator.with_backend, the "
+                "'collective_mode' hint)"
+            )
+        entry[3] = arrivals + 1
+        if entry[3] == self.size:
+            del ledger[key]  # complete: every rank agreed
+
     def _analytic_site(self, value: Any, combine: Callable[[dict[int, Any]], list],
                        cost: Callable[[dict[int, Any]], float],
                        kind: str = "generic") -> Generator[Any, Any, Any]:
@@ -385,6 +414,16 @@ class Communicator:
         The paths are thunks; only the chosen generator is ever
         constructed, so no dead execution path is allocated (and then
         closed) per call.
+
+        Backend symmetry across ranks is enforced here, not merely
+        documented: every rank records its per-call fidelity choice in
+        the communicator's ledger (the same role the analytic site key /
+        first detailed tag plays for call-order matching), so a
+        rank-divergent backend spec — one rank's backend picking
+        'analytic' where another picks 'detailed' for the same
+        collective — raises a clear :class:`ParCollError` at the second
+        arrival instead of deadlocking the message schedule against the
+        synchronization site.
         """
         self._op_state[0] += 1
         t0 = self.now
@@ -392,6 +431,7 @@ class Communicator:
             fid = "analytic"  # degenerate: immediate, no traffic either way
         else:
             fid = self.backend.fidelity(category)
+            self._check_fidelity_symmetry(fid, category)
         paths = {"analytic": analytic_path, "detailed": detailed_path}
         path = paths.get(fid)
         if path is None:

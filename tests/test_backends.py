@@ -337,3 +337,106 @@ def test_replan_once_allows_contiguous_drift():
                                       rank_pattern(r, 100))
         np.testing.assert_array_equal(got[400 + r * 50:400 + (r + 1) * 50],
                                       rank_pattern(r + 1, 50))
+
+
+def test_replan_auto_replans_on_fragmented_extent_drift():
+    """'auto' converts the 'once' stationarity error into a global
+    re-plan and produces exactly the bytes 'always' produces."""
+    st_auto = Stack(nprocs=4)
+    st_auto.run(lambda comm, io: _fragmented_program(
+        comm, io, "auto", Vector(2, 8, 32, BYTE)))
+    st_always = Stack(nprocs=4)
+    st_always.run(lambda comm, io: _fragmented_program(
+        comm, io, "always", Vector(2, 8, 32, BYTE)))
+    np.testing.assert_array_equal(st_auto.file_bytes("frag"),
+                                  st_always.file_bytes("frag"))
+
+
+def test_replan_auto_reuses_plan_for_stationary_pattern():
+    """While the pattern holds, 'auto' skips the extent allgather and
+    regrouping — the repeated call costs less than under 'always'."""
+    def program(replan):
+        def run(comm, io):
+            f = yield from io.open(comm, "rep", hints={
+                "protocol": "parcoll", "parcoll_ngroups": 2,
+                "parcoll_replan": replan})
+            f.set_view(comm.rank * 64, BYTE, Vector(2, 16, 32, BYTE))
+            for _ in range(6):  # same fragmented view every call
+                yield from f.write_at_all(0, rank_pattern(comm.rank, 32))
+            yield from f.close()
+        return run
+
+    elapsed = {}
+    payload = {}
+    for replan in ("auto", "always", "once"):
+        st = Stack(nprocs=4)
+        st.run(program(replan))
+        elapsed[replan] = st.world.engine.now
+        payload[replan] = st.file_bytes("rep")
+    np.testing.assert_array_equal(payload["auto"], payload["always"])
+    np.testing.assert_array_equal(payload["auto"], payload["once"])
+    # auto pays one tiny agreement allreduce per call but skips the
+    # allgather + split; it must stay cheaper than full replanning
+    # (no ordering vs 'once': drifted subgroups change OST contention)
+    assert elapsed["auto"] < elapsed["always"]
+
+
+def test_hints_reject_unknown_replan_mode():
+    from repro.mpiio.hints import IOHints
+
+    with pytest.raises(MPIIOError, match="parcoll_replan"):
+        IOHints(parcoll_replan="never")
+
+
+# ----------------------------------------------------------------------
+# backend symmetry: rank-divergent specs fail fast instead of hanging
+# ----------------------------------------------------------------------
+def test_rank_divergent_backend_override_raises():
+    st = Stack(nprocs=4)
+
+    def program(comm, io):
+        c = comm.with_backend("detailed") if comm.rank == 0 else comm
+        yield from c.barrier()
+
+    with pytest.raises(ParCollError, match="backend divergence"):
+        st.run(program)
+
+
+def test_divergence_error_names_ranks_and_backends():
+    st = Stack(nprocs=4)
+
+    def program(comm, io):
+        c = comm.with_backend("detailed") if comm.rank % 2 else comm
+        yield from c.allreduce(1, nbytes=8)
+
+    with pytest.raises(ParCollError) as excinfo:
+        st.run(program)
+    msg = str(excinfo.value)
+    assert "detailed" in msg and "analytic" in msg
+    assert "with_backend" in msg  # tells the user how to fix it
+
+
+def test_symmetric_backend_override_is_not_divergent():
+    st = Stack(nprocs=4)
+
+    def program(comm, io):
+        det = comm.with_backend("detailed")
+        yield from det.barrier()
+        yield from comm.barrier()  # back on the world backend: also fine
+        return comm.rank
+
+    assert st.run(program) == [0, 1, 2, 3]
+
+
+def test_divergence_check_spans_successive_collectives():
+    """The ledger keys on the op sequence: symmetric call #1 must not
+    mask a divergent call #2."""
+    st = Stack(nprocs=4)
+
+    def program(comm, io):
+        yield from comm.barrier()
+        c = comm.with_backend("detailed") if comm.rank == 3 else comm
+        yield from c.barrier()
+
+    with pytest.raises(ParCollError, match="backend divergence"):
+        st.run(program)
