@@ -1,0 +1,163 @@
+"""Calibrate the ``sizethreshold`` backend from detailed schedules.
+
+The ``sizethreshold:<bytes>`` backend (ROADMAP's size-dependent policy)
+runs small collectives through the detailed message-schedule model and
+large ones through the analytic LogP cost.  The crossover is an
+empirical property of the network parameters: per-message overheads and
+tree shape dominate small collectives, bandwidth dominates large ones,
+and somewhere in between the analytic cost converges to the schedule's
+answer.  This bench measures that convergence directly — simulated
+elapsed time of the same collective under both fidelities across a size
+ladder — and picks the smallest size from which the analytic model stays
+within ``TOLERANCE`` of detailed, then validates a
+``sizethreshold:<picked>`` backend against full-detailed simulated time
+and event count.
+
+Calibration runs one rank per node — the placement the LogP cost
+assumes.  With ranks sharing a NIC, the detailed schedule serializes
+their traffic while the analytic cost does not, so the two never
+converge at large sizes; that is a (documented) analytic-model
+limitation, not a crossover, and calibrating against it would push the
+threshold to infinity.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_sizethreshold_calibration.py
+
+Results land in ``BENCH_sizethreshold_calibration.json`` at the repo
+root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+
+from repro.cluster.machine import MachineConfig
+from repro.simmpi.world import World
+
+NPROCS = 32
+REPS = 4
+#: per-rank collective payload sizes swept, bytes
+SIZES = (64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20)
+#: analytic-vs-detailed relative error accepted above the threshold
+TOLERANCE = 0.15
+KINDS = ("alltoall", "allreduce")
+OUT = (pathlib.Path(__file__).resolve().parent.parent
+       / "BENCH_sizethreshold_calibration.json")
+
+
+def run_collectives(mode: str, kind: str, nbytes: int) -> tuple[float, int]:
+    """Simulated elapsed seconds (and engine events) of REPS collectives."""
+    world = World(MachineConfig(nprocs=NPROCS, cores_per_node=1),
+                  collective_mode=mode)
+
+    def program(comm):
+        for _ in range(REPS):
+            if kind == "alltoall":
+                yield from comm.alltoall([0] * comm.size, nbytes_each=nbytes)
+            else:
+                yield from comm.allreduce(0, nbytes=nbytes)
+        return None
+
+    world.launch(program)
+    return world.engine.now, world.engine.effects_dispatched
+
+
+def pick_threshold(errors: dict[int, float]) -> int:
+    """Smallest size from which every error is within TOLERANCE.
+
+    Falls back to the largest swept size when the analytic model never
+    converges (then sizethreshold degenerates to detailed-everywhere,
+    which is at least correct).
+    """
+    sizes = sorted(errors)
+    picked = sizes[-1]
+    for i, size in enumerate(sizes):
+        if all(errors[s] <= TOLERANCE for s in sizes[i:]):
+            picked = size
+            break
+    return picked
+
+
+def main() -> int:
+    curves: dict[str, list[dict]] = {}
+    per_kind_threshold: dict[str, int] = {}
+    for kind in KINDS:
+        rows = []
+        errors: dict[int, float] = {}
+        for size in SIZES:
+            det_t, det_ev = run_collectives("detailed", kind, size)
+            ana_t, ana_ev = run_collectives("analytic", kind, size)
+            err = abs(ana_t - det_t) / det_t if det_t > 0 else 0.0
+            errors[size] = err
+            rows.append({
+                "nbytes": size,
+                "detailed_s": det_t,
+                "analytic_s": ana_t,
+                "rel_error": round(err, 4),
+                "detailed_events": det_ev,
+                "analytic_events": ana_ev,
+            })
+            print(f"{kind:>9} {size:>8}B: detailed {det_t:.6g}s "
+                  f"analytic {ana_t:.6g}s err {err * 100:5.1f}%")
+        curves[kind] = rows
+        per_kind_threshold[kind] = pick_threshold(errors)
+        print(f"{kind}: analytic converges from "
+              f"{per_kind_threshold[kind]} bytes")
+
+    # one threshold must serve every collective the backend dispatches:
+    # take the most conservative (largest) converged size
+    threshold = max(per_kind_threshold.values())
+    spec = f"sizethreshold:{threshold}"
+
+    # validation: the calibrated backend should track detailed simulated
+    # time below the threshold exactly (same path) and cost fewer engine
+    # events than detailed across the sweep
+    validation = []
+    ok = True
+    for kind in KINDS:
+        for size in SIZES:
+            st_t, st_ev = run_collectives(spec, kind, size)
+            det = next(r for r in curves[kind] if r["nbytes"] == size)
+            if size < threshold:
+                exact = st_t == det["detailed_s"]
+                ok = ok and exact
+                validation.append({"kind": kind, "nbytes": size,
+                                   "path": "detailed", "exact_match": exact})
+            else:
+                err = (abs(st_t - det["detailed_s"]) / det["detailed_s"]
+                       if det["detailed_s"] > 0 else 0.0)
+                ok = ok and err <= TOLERANCE and st_ev < det["detailed_events"]
+                validation.append({"kind": kind, "nbytes": size,
+                                   "path": "analytic",
+                                   "rel_error": round(err, 4),
+                                   "events_saved":
+                                       det["detailed_events"] - st_ev})
+
+    out = {
+        "benchmark": "sizethreshold_calibration",
+        "python": platform.python_version(),
+        "nprocs": NPROCS,
+        "reps": REPS,
+        "tolerance": TOLERANCE,
+        "per_kind_threshold": per_kind_threshold,
+        "picked_threshold": threshold,
+        "backend_spec": spec,
+        "calibration_ok": ok,
+        "curves": curves,
+        "validation": validation,
+    }
+    OUT.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"\npicked {spec} (tolerance {TOLERANCE * 100:.0f}%)")
+    print(f"wrote {OUT}")
+    if not ok:
+        print("FAIL: calibrated backend did not validate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

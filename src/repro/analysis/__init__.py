@@ -9,12 +9,17 @@ Tools a user pointed at a finished run (or a planned one) reaches for:
 * :mod:`repro.analysis.calibration` — measure the simulated platform's
   effective primitives (point-to-point latency/bandwidth, collective
   scaling, raw OST throughput) the way one would calibrate a real
-  machine with micro-benchmarks.
+  machine with micro-benchmarks;
+* :mod:`repro.analysis.faults` — probe every fault class at its
+  representative severity and compare per-protocol damage (wall loss,
+  blast radius, retry cost).
 """
 
 from repro.analysis.breakdown import BreakdownSeries, wall_diagnosis
 from repro.analysis.coverage import CoverageReport, check_coverage
 from repro.analysis.calibration import PlatformCalibration, calibrate
+from repro.analysis.faults import (FaultImpact, FaultImpactReport,
+                                   fault_impact)
 from repro.analysis.timeline import (OstLoadSummary, burstiness, ost_load,
                                      utilization_curve)
 
@@ -25,6 +30,9 @@ __all__ = [
     "check_coverage",
     "PlatformCalibration",
     "calibrate",
+    "FaultImpact",
+    "FaultImpactReport",
+    "fault_impact",
     "OstLoadSummary",
     "ost_load",
     "utilization_curve",

@@ -7,6 +7,9 @@ Usage::
     python -m repro.cli figures -j 4        # all of them, 4 workers
     python -m repro.cli calibrate           # platform micro-benchmarks
     python -m repro.cli backends            # collective-fidelity backends
+    python -m repro.cli faults classes      # available fault classes
+    python -m repro.cli faults sweep straggler [--severities 0.5,0.9]
+    python -m repro.cli faults report       # per-class impact comparison
     python -m repro.cli cache [--clear]     # inspect / clear the run cache
     python -m repro.cli list                # what is available
 
@@ -99,6 +102,53 @@ def _run_figure(number: str, scale: str, chart: bool = False,
     return 0
 
 
+def _run_faults(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.harness.fault_sweep import FAULT_CLASSES, fault_sweep
+
+    if args.faults_command == "classes":
+        for name in sorted(FAULT_CLASSES):
+            fc = FAULT_CLASSES[name]
+            sevs = ", ".join(f"{s:g}" for s in fc.severities)
+            print(f"{name:>10}: {fc.description}")
+            print(f"{'':>10}  severities [{sevs}], probe {fc.probe:g}, "
+                  f"collectives {fc.collective_mode}")
+        return 0
+    executor = _make_executor(args.jobs, args.no_cache)
+    if args.faults_command == "sweep":
+        severities = None
+        if args.severities:
+            try:
+                severities = tuple(float(s)
+                                   for s in args.severities.split(","))
+            except ValueError:
+                print(f"bad --severities {args.severities!r}: expected "
+                      "comma-separated numbers", file=sys.stderr)
+                return 2
+        try:
+            result = fault_sweep(args.fault_class, severities=severities,
+                                 scale=args.scale,
+                                 collective_mode=args.collective_mode,
+                                 executor=executor)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(result.to_table())
+        if args.chart:
+            from repro.harness.plots import figure_chart
+
+            retained = [k for k in result.series if k.endswith(" retained")]
+            print()
+            print(figure_chart(result, series_names=retained, logx=False))
+        return 0
+    if args.faults_command == "report":
+        from repro.analysis import fault_impact
+
+        print(fault_impact(scale=args.scale, executor=executor).summary())
+        return 0
+    return 2  # pragma: no cover
+
+
 def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
                         help="evaluate experiment grids on N worker "
@@ -133,6 +183,33 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("calibrate", help="run platform micro-benchmarks")
     sub.add_parser("backends", help="list collective-fidelity backends")
+
+    p_faults = sub.add_parser(
+        "faults", help="fault-injection sweeps and impact reports")
+    f_sub = p_faults.add_subparsers(dest="faults_command", required=True)
+    f_sweep = f_sub.add_parser(
+        "sweep", help="degradation curves for one fault class")
+    f_sweep.add_argument("fault_class", nargs="?", default="straggler",
+                         help="fault class (see 'faults classes'); "
+                              "default straggler")
+    f_sweep.add_argument("--scale", choices=("small", "paper"),
+                         default="small")
+    f_sweep.add_argument("--severities", default=None, metavar="S1,S2,...",
+                         help="comma-separated severities in [0,1) "
+                              "(default: the class's grid)")
+    f_sweep.add_argument("--collective-mode", default=None, metavar="SPEC",
+                         help="override the class's collective-fidelity "
+                              "backend")
+    f_sweep.add_argument("--chart", action="store_true",
+                         help="also render a terminal chart of the "
+                              "retained-speed curves")
+    _add_parallel_flags(f_sweep)
+    f_report = f_sub.add_parser(
+        "report", help="probe every fault class, compare protocol damage")
+    f_report.add_argument("--scale", choices=("small", "paper"),
+                          default="small")
+    _add_parallel_flags(f_report)
+    f_sub.add_parser("classes", help="list fault classes")
     p_cache = sub.add_parser("cache",
                              help="inspect or clear the persistent run cache")
     p_cache.add_argument("--clear", action="store_true",
@@ -152,6 +229,8 @@ def main(argv: list[str] | None = None) -> int:
             status |= _run_figure(number, args.scale, executor=executor)
             print()
         return status
+    if args.command == "faults":
+        return _run_faults(args)
     if args.command == "calibrate":
         from repro.analysis import calibrate
 

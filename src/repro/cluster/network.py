@@ -120,8 +120,7 @@ class NetworkModel:
         self.cross_node_messages += 1
         self.cross_node_bytes += nbytes
         tx = self.tx[src_node]
-        tx_done = tx.reserve(nbytes)
-        tx_start = tx_done - tx.service_time(nbytes)
+        tx_start, tx_done = tx.reserve_span(now, nbytes)
         first_byte = tx_start + self.wire_latency(src_node, dst_node)
         arrival = self.rx[dst_node].reserve_at(first_byte, nbytes)
         return tx_done, arrival

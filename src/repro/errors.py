@@ -55,6 +55,27 @@ class FileSystemError(ReproError):
     """A simulated-Lustre failure (unknown file, bad extent, ...)."""
 
 
+class FaultExhaustedError(FileSystemError):
+    """An injected RPC fault survived every client retry.
+
+    Raised by the Lustre client's retry loop when ``max_attempts``
+    consecutive attempts against one OST failed under the active
+    :class:`~repro.faults.FaultPlan`.  Structured so harnesses can report
+    *where* and *when* resilience gave out: ``ost`` is the target index,
+    ``attempts`` how many RPCs were tried, ``virtual_time`` the simulated
+    second at which the final timeout expired.
+    """
+
+    def __init__(self, ost: int, attempts: int, virtual_time: float):
+        self.ost = int(ost)
+        self.attempts = int(attempts)
+        self.virtual_time = float(virtual_time)
+        super().__init__(
+            f"RPC to ost-{self.ost} failed {self.attempts} attempt(s); "
+            f"retries exhausted at t={self.virtual_time:.6g}s"
+        )
+
+
 class MPIIOError(ReproError):
     """An MPI-IO level failure (bad view, access outside view, hints...)."""
 

@@ -1,0 +1,38 @@
+"""Deterministic fault injection and client-side resilience.
+
+The subsystem splits cleanly into pure data and runtime behaviour:
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan` and its event types,
+  serializable and hashable into experiment cache keys;
+- :mod:`repro.faults.retry` — :class:`RetryPolicy`, the client's
+  timeout / max-attempts / exponential-backoff response;
+- :mod:`repro.faults.injector` — :class:`FaultInjector`, which compiles
+  a plan + seed into service profiles and the per-RPC retry loop.
+
+The injector plugs into :class:`~repro.lustre.fs.LustreFS` (OST
+degradation, stalls, flaky RPCs) and :class:`~repro.simmpi.world.World`
+(node compute/NIC slowdown); retry time surfaces in the ``fault_retry``
+breakdown category.
+"""
+
+from repro.errors import FaultExhaustedError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    FlakyRPC,
+    NodeSlowdown,
+    OSTDegrade,
+    OSTStall,
+)
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "FaultExhaustedError",
+    "FaultInjector",
+    "FaultPlan",
+    "FlakyRPC",
+    "NodeSlowdown",
+    "OSTDegrade",
+    "OSTStall",
+    "RetryPolicy",
+]

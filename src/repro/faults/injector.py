@@ -1,0 +1,118 @@
+"""Turn a :class:`FaultPlan` plus a seed into runtime fault behaviour.
+
+The injector is the single stateful object the simulation layers consult:
+
+- :meth:`ost_profile` / :meth:`node_profile` compile the plan's windows
+  into :class:`~repro.sim.resources.ServiceProfile` objects (cached, or
+  None when the plan never touches that resource — the None fast path is
+  what keeps zero-fault runs bit-identical to a build without faults);
+- :meth:`rpc_delay` runs the client's retry loop for one RPC: it decides
+  from dedicated per-OST RNG streams whether each attempt is lost, sums
+  timeout + backoff delays, and raises
+  :class:`~repro.errors.FaultExhaustedError` when the policy gives out.
+
+Determinism contract: the RNG streams are named
+``faults/rpc/ost-{i}`` and ``faults/backoff/ost-{i}`` — disjoint from
+the Lustre client's ``ost-{i}`` service-jitter streams — and are drawn
+from only while a flaky window is active for that OST, so runs whose
+plan has no flaky events (or whose I/O misses the windows) consume zero
+fault randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import ConfigError, FaultExhaustedError
+from repro.faults.plan import FaultPlan, FlakyRPC, NodeSlowdown, OSTDegrade, OSTStall
+from repro.faults.retry import RetryPolicy
+from repro.sim.resources import ServiceProfile
+from repro.sim.rng import RngStreams
+
+
+class FaultInjector:
+    """Runtime companion of one FaultPlan for one simulated run."""
+
+    def __init__(self, plan: FaultPlan, seed: int):
+        self.plan = FaultPlan.coerce(plan)
+        self.seed = int(seed)
+        self._rng = RngStreams(self.seed)
+        self._ost_profiles: dict[int, Optional[ServiceProfile]] = {}
+        self._node_profiles: dict[int, Optional[ServiceProfile]] = {}
+        #: counters for reports: total lost RPCs and retry seconds per OST
+        self.rpc_failures: dict[int, int] = {}
+        self.retry_seconds: dict[int, float] = {}
+
+    # -- static degradation -------------------------------------------
+    def ost_profile(self, ost: int) -> Optional[ServiceProfile]:
+        """Service profile for one OST, or None if the plan leaves it alone."""
+        prof = self._ost_profiles.get(ost, _MISSING)
+        if prof is _MISSING:
+            windows = self.plan.ost_windows(ost)
+            prof = ServiceProfile(windows) if windows else None
+            self._ost_profiles[ost] = prof
+        return prof
+
+    def node_profile(self, node: int) -> Optional[ServiceProfile]:
+        """Speed profile for one compute node (CPU + NIC), or None."""
+        prof = self._node_profiles.get(node, _MISSING)
+        if prof is _MISSING:
+            windows = self.plan.node_windows(node)
+            prof = ServiceProfile(windows) if windows else None
+            self._node_profiles[node] = prof
+        return prof
+
+    def validate_platform(self, n_osts: int, nnodes: int) -> None:
+        """Reject plans naming resources the platform does not have."""
+        for ev in self.plan.events:
+            if isinstance(ev, (OSTDegrade, OSTStall)) and ev.ost >= n_osts:
+                raise ConfigError(
+                    f"fault plan targets ost {ev.ost} but the file system "
+                    f"has only {n_osts} OSTs")
+            if isinstance(ev, FlakyRPC) and ev.ost is not None \
+                    and ev.ost >= n_osts:
+                raise ConfigError(
+                    f"fault plan targets ost {ev.ost} but the file system "
+                    f"has only {n_osts} OSTs")
+            if isinstance(ev, NodeSlowdown) and ev.node >= nnodes:
+                raise ConfigError(
+                    f"fault plan targets node {ev.node} but the machine "
+                    f"has only {nnodes} nodes")
+
+    # -- transient RPC faults -----------------------------------------
+    def rpc_delay(self, ost: int, t: float, policy: RetryPolicy
+                  ) -> tuple[float, int]:
+        """Client-side delay for one RPC to ``ost`` issued at time ``t``.
+
+        Returns ``(delay_seconds, failures)``: the RPC reaches the OST at
+        ``t + delay_seconds`` after ``failures`` lost attempts.  Raises
+        :class:`FaultExhaustedError` when every attempt is lost.  A lost
+        RPC never occupies the OST — it dies in transit — so the cost is
+        purely client-side waiting.
+        """
+        if not self.plan.has_flaky(ost):
+            return 0.0, 0
+        delay = 0.0
+        rpc_rng = None
+        for attempt in range(1, policy.max_attempts + 1):
+            prob = self.plan.flaky_prob(ost, t + delay)
+            if prob <= 0.0:
+                return delay, attempt - 1
+            if rpc_rng is None:
+                rpc_rng = self._rng.stream(f"faults/rpc/ost-{ost}")
+            if float(rpc_rng.random()) >= prob:
+                return delay, attempt - 1
+            delay += policy.timeout
+            if attempt < policy.max_attempts:
+                delay += policy.backoff_delay(
+                    attempt, self._rng.stream(f"faults/backoff/ost-{ost}"))
+        raise FaultExhaustedError(ost, policy.max_attempts, t + delay)
+
+    def record_retry(self, ost: int, seconds: float, failures: int) -> None:
+        """Accumulate per-OST retry statistics for end-of-run reports."""
+        if failures:
+            self.rpc_failures[ost] = self.rpc_failures.get(ost, 0) + failures
+            self.retry_seconds[ost] = self.retry_seconds.get(ost, 0.0) + seconds
+
+
+_MISSING = object()

@@ -1,0 +1,278 @@
+"""Declarative fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is a frozen, order-insensitive collection of fault
+events.  It is pure data — nothing here touches the engine — so a plan
+can be serialized into experiment configs, hashed into the
+:class:`~repro.harness.parallel.RunCache` key, and shipped to worker
+processes.  The :class:`~repro.faults.injector.FaultInjector` turns a
+plan plus a seed into the deterministic runtime behaviour.
+
+Four event kinds cover the degradation modes the resilience study needs:
+
+``OSTDegrade``
+    One OST serves at ``factor`` times its nominal rate inside a time
+    window (``factor`` < 1: a straggling server; > 1 is allowed for
+    what-if speedups).
+``OSTStall``
+    One OST stops serving entirely for ``duration`` seconds — a failover
+    or controller reset.  Requests in flight finish after the stall.
+``FlakyRPC``
+    RPCs to one OST (or all, ``ost=None``) are lost with probability
+    ``prob`` inside the window; the client's retry policy decides what
+    happens next.
+``NodeSlowdown``
+    One compute node's CPU and NIC run at ``factor`` speed inside the
+    window — the classic straggler node.
+
+All times are virtual seconds from simulation start; ``end=None`` means
+the condition persists forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Iterable, Mapping, Optional, Union
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class OSTDegrade:
+    """OST ``ost`` serves at ``factor`` × nominal rate during [start, end)."""
+
+    ost: int
+    factor: float
+    start: float = 0.0
+    end: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_window(self, require_end=False)
+        if self.ost < 0:
+            raise ConfigError(f"OSTDegrade: ost must be >= 0, got {self.ost}")
+        if self.factor <= 0:
+            raise ConfigError(
+                f"OSTDegrade: factor must be > 0 (use OSTStall for a full "
+                f"stop), got {self.factor}")
+
+
+@dataclass(frozen=True)
+class OSTStall:
+    """OST ``ost`` serves nothing during [start, start + duration)."""
+
+    ost: int
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.ost < 0:
+            raise ConfigError(f"OSTStall: ost must be >= 0, got {self.ost}")
+        if self.start < 0:
+            raise ConfigError(f"OSTStall: start must be >= 0, got {self.start}")
+        if self.duration <= 0:
+            raise ConfigError(
+                f"OSTStall: duration must be > 0, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class FlakyRPC:
+    """RPCs to ``ost`` (None = every OST) fail w.p. ``prob`` in [start, end)."""
+
+    prob: float
+    ost: Optional[int] = None
+    start: float = 0.0
+    end: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_window(self, require_end=False)
+        if not (0.0 < self.prob <= 1.0):
+            raise ConfigError(
+                f"FlakyRPC: prob must be in (0, 1], got {self.prob}")
+        if self.ost is not None and self.ost < 0:
+            raise ConfigError(f"FlakyRPC: ost must be >= 0, got {self.ost}")
+
+
+@dataclass(frozen=True)
+class NodeSlowdown:
+    """Node ``node`` computes and communicates at ``factor`` × speed."""
+
+    node: int
+    factor: float
+    start: float = 0.0
+    end: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_window(self, require_end=False)
+        if self.node < 0:
+            raise ConfigError(
+                f"NodeSlowdown: node must be >= 0, got {self.node}")
+        if self.factor <= 0:
+            raise ConfigError(
+                f"NodeSlowdown: factor must be > 0, got {self.factor}")
+
+
+def _check_window(ev: Any, require_end: bool) -> None:
+    if ev.start < 0:
+        raise ConfigError(
+            f"{type(ev).__name__}: start must be >= 0, got {ev.start}")
+    if ev.end is None:
+        if require_end:
+            raise ConfigError(f"{type(ev).__name__}: end is required")
+        return
+    if ev.end <= ev.start:
+        raise ConfigError(
+            f"{type(ev).__name__}: end ({ev.end}) must be after "
+            f"start ({ev.start})")
+
+
+FaultEvent = Union[OSTDegrade, OSTStall, FlakyRPC, NodeSlowdown]
+
+_EVENT_KINDS: dict[str, type] = {
+    "ost_degrade": OSTDegrade,
+    "ost_stall": OSTStall,
+    "flaky_rpc": FlakyRPC,
+    "node_slowdown": NodeSlowdown,
+}
+_KIND_OF = {cls: kind for kind, cls in _EVENT_KINDS.items()}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of fault events; the unit of experiment identity.
+
+    Two plans with the same events in any order compare (and hash into
+    the run cache) identically: the events tuple is canonically sorted.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        evs = tuple(self.events)
+        for ev in evs:
+            if type(ev) not in _KIND_OF:
+                raise ConfigError(
+                    f"FaultPlan: unknown event type {type(ev).__name__}")
+        # canonical order: kind name, then field values — plan identity
+        # must not depend on authoring order
+        ordered = tuple(sorted(
+            evs, key=lambda e: (_KIND_OF[type(e)], _field_tuple(e))))
+        object.__setattr__(self, "events", ordered)
+
+    # -- construction helpers ------------------------------------------
+    @classmethod
+    def straggler_ost(cls, ost: int, factor: float, start: float = 0.0,
+                      end: Optional[float] = None) -> "FaultPlan":
+        return cls((OSTDegrade(ost=ost, factor=factor, start=start, end=end),))
+
+    @classmethod
+    def flaky(cls, prob: float, ost: Optional[int] = None, start: float = 0.0,
+              end: Optional[float] = None) -> "FaultPlan":
+        return cls((FlakyRPC(prob=prob, ost=ost, start=start, end=end),))
+
+    @classmethod
+    def slow_node(cls, node: int, factor: float, start: float = 0.0,
+                  end: Optional[float] = None) -> "FaultPlan":
+        return cls((NodeSlowdown(node=node, factor=factor, start=start,
+                                 end=end),))
+
+    @classmethod
+    def stall(cls, ost: int, start: float, duration: float) -> "FaultPlan":
+        return cls((OSTStall(ost=ost, start=start, duration=duration),))
+
+    def __add__(self, other: "FaultPlan") -> "FaultPlan":
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return FaultPlan(self.events + other.events)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    # -- queries used by the injector ----------------------------------
+    def ost_windows(self, ost: int) -> list[tuple[float, Optional[float], float]]:
+        """Speed windows for one OST: degradations plus stalls (speed 0)."""
+        out: list[tuple[float, Optional[float], float]] = []
+        for ev in self.events:
+            if isinstance(ev, OSTDegrade) and ev.ost == ost:
+                out.append((ev.start, ev.end, ev.factor))
+            elif isinstance(ev, OSTStall) and ev.ost == ost:
+                out.append((ev.start, ev.start + ev.duration, 0.0))
+        return out
+
+    def node_windows(self, node: int) -> list[tuple[float, Optional[float], float]]:
+        """Speed windows for one compute node."""
+        return [(ev.start, ev.end, ev.factor) for ev in self.events
+                if isinstance(ev, NodeSlowdown) and ev.node == node]
+
+    def flaky_prob(self, ost: int, t: float) -> float:
+        """Probability that an RPC to ``ost`` issued at time ``t`` is lost.
+
+        Independent flaky windows compound: surviving the RPC means
+        surviving every active window.
+        """
+        p_ok = 1.0
+        for ev in self.events:
+            if not isinstance(ev, FlakyRPC):
+                continue
+            if ev.ost is not None and ev.ost != ost:
+                continue
+            if t < ev.start or (ev.end is not None and t >= ev.end):
+                continue
+            p_ok *= 1.0 - ev.prob
+        return 1.0 - p_ok
+
+    def has_flaky(self, ost: int) -> bool:
+        """Whether any flaky window ever targets ``ost`` (cheap pre-filter)."""
+        return any(isinstance(ev, FlakyRPC)
+                   and (ev.ost is None or ev.ost == ost)
+                   for ev in self.events)
+
+    # -- (de)serialization ---------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form: ``{"events": [{"kind": ..., fields...}, ...]}``."""
+        out = []
+        for ev in self.events:
+            d: dict[str, Any] = {"kind": _KIND_OF[type(ev)]}
+            for f in fields(ev):
+                d[f.name] = getattr(ev, f.name)
+            out.append(d)
+        return {"events": out}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        events = data.get("events", ())
+        evs = []
+        for d in events:
+            d = dict(d)
+            kind = d.pop("kind", None)
+            ev_cls = _EVENT_KINDS.get(kind)
+            if ev_cls is None:
+                raise ConfigError(
+                    f"FaultPlan.from_dict: unknown event kind {kind!r}; "
+                    f"expected one of {sorted(_EVENT_KINDS)}")
+            try:
+                evs.append(ev_cls(**d))
+            except TypeError as exc:
+                raise ConfigError(
+                    f"FaultPlan.from_dict: bad fields for {kind!r}: {exc}"
+                ) from exc
+        return cls(tuple(evs))
+
+    @classmethod
+    def coerce(cls, value: Any) -> "FaultPlan":
+        """Accept a FaultPlan, a to_dict mapping, an event iterable, or None."""
+        if value is None:
+            return cls()
+        if isinstance(value, FaultPlan):
+            return value
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        if isinstance(value, Iterable):
+            return cls(tuple(value))
+        raise ConfigError(
+            f"cannot interpret {type(value).__name__} as a FaultPlan")
+
+
+def _field_tuple(ev: Any) -> tuple:
+    return tuple(
+        (f.name, -1 if getattr(ev, f.name) is None else getattr(ev, f.name))
+        for f in fields(ev))

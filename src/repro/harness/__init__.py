@@ -10,19 +10,25 @@ rank, returning aggregate bandwidth and the per-category time breakdown.
 from repro.harness.runner import ExperimentConfig, RunResult, run_experiment
 from repro.harness.parallel import (ExperimentExecutor, ExperimentTask,
                                     RunCache, register_workload)
-from repro.harness.report import format_table, mb_per_s
+from repro.harness.fault_sweep import FAULT_CLASSES, fault_sweep
+from repro.harness.report import (breakdown_table, format_table, mb_per_s,
+                                  run_report)
 from repro.harness.sweep import Sweep, SweepPoint
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentExecutor",
     "ExperimentTask",
+    "FAULT_CLASSES",
     "RunCache",
     "RunResult",
+    "fault_sweep",
     "register_workload",
     "run_experiment",
+    "breakdown_table",
     "format_table",
     "mb_per_s",
+    "run_report",
     "Sweep",
     "SweepPoint",
 ]

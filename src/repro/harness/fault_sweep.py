@@ -1,0 +1,290 @@
+"""Fault-class sweeps: degradation curves under injected faults.
+
+The resilience question the paper's partitioning raises but never
+measures: when one component of the storage system misbehaves, how far
+does the damage spread?  Under flat extended two-phase every aggregator
+eventually touches every OST, so a single straggler OST drags the whole
+collective; under ParColl each subgroup only touches its own File Area's
+OSTs, so the blast radius is one subgroup.
+
+This module turns that into a measurable curve.  Each named *fault
+class* (:data:`FAULT_CLASSES`) maps a scalar ``severity`` in ``[0, 1)``
+to a :class:`~repro.faults.FaultPlan` — severity 0 is the healthy
+platform, higher is worse — and :func:`fault_sweep` runs the same
+workload across severities x protocols and reports bandwidth plus the
+fraction of healthy throughput retained.
+
+The platform is laid out so the faulty component maps cleanly onto the
+partitioning: ``nprocs == n_osts == stripe_count``, one stripe-sized
+block per rank, so rank *r*'s data lands on OST *r* and a ParColl
+subgroup of *g* ranks owns exactly *g* OSTs.  Degrading OST 0 therefore
+hits one subgroup under ParColl and every round under flat ext2ph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.faults import FaultPlan
+from repro.harness.figures import FigureResult
+from repro.harness.parallel import (ExperimentExecutor, ExperimentTask,
+                                    default_executor)
+from repro.harness.report import mb_per_s
+from repro.harness.runner import ExperimentConfig, RunResult
+from repro.workloads import IORConfig
+
+#: platform layouts keyed by scale; ``stall_unit`` is the stall duration
+#: at severity 1.0 (sized to the scale's healthy run time), ``rounds``
+#: the number of collective write calls per rank (the global coupling a
+#: fault propagates through needs *repeated* collectives — one call
+#: slows only the aggregator in front of the faulty OST)
+SCALES: dict[str, dict[str, Any]] = {
+    "small": {"nprocs": 16, "n_osts": 16, "stripe_size": 512 << 10,
+              "ngroups": 4, "rounds": 8, "stall_unit": 0.05},
+    "paper": {"nprocs": 64, "n_osts": 64, "stripe_size": 4 << 20,
+              "ngroups": 8, "rounds": 8, "stall_unit": 2.0},
+}
+
+#: protocol label -> MPI-IO hints (parcoll_ngroups filled per scale)
+PROTOCOLS: dict[str, dict[str, Any]] = {
+    "ext2ph": {"protocol": "ext2ph"},
+    "parcoll": {"protocol": "parcoll"},
+}
+
+
+@dataclass(frozen=True)
+class FaultClass:
+    """A one-knob family of fault plans.
+
+    ``build(severity, scale_info)`` returns the plan for one severity;
+    severity 0.0 must return the empty plan (the healthy baseline every
+    curve is normalized against).  ``collective_mode`` is the fidelity
+    the class needs to be observable — node slowdowns act on NICs and
+    cores, which the analytic collective cost never touches, so the
+    ``slownode`` class runs detailed collectives.
+    """
+
+    name: str
+    description: str
+    build: Callable[[float, Mapping[str, Any]], FaultPlan]
+    severities: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 0.9)
+    #: representative severity used by per-class impact reports
+    probe: float = 0.75
+    collective_mode: str = "analytic"
+    #: RetryPolicy overrides the class needs (``None`` = platform default)
+    retry: Optional[Mapping[str, Any]] = None
+
+
+def _straggler(severity: float, scale: Mapping[str, Any]) -> FaultPlan:
+    if severity <= 0:
+        return FaultPlan()
+    return FaultPlan.straggler_ost(0, factor=max(1.0 - severity, 0.01))
+
+
+def _flaky(severity: float, scale: Mapping[str, Any]) -> FaultPlan:
+    if severity <= 0:
+        return FaultPlan()
+    return FaultPlan.flaky(min(severity, 0.99), ost=0)
+
+
+def _slownode(severity: float, scale: Mapping[str, Any]) -> FaultPlan:
+    if severity <= 0:
+        return FaultPlan()
+    return FaultPlan.slow_node(0, factor=max(1.0 - severity, 0.01))
+
+
+def _stall(severity: float, scale: Mapping[str, Any]) -> FaultPlan:
+    if severity <= 0:
+        return FaultPlan()
+    return FaultPlan.stall(0, start=0.0,
+                           duration=severity * scale["stall_unit"])
+
+
+FAULT_CLASSES: dict[str, FaultClass] = {
+    "straggler": FaultClass(
+        name="straggler",
+        description="OST 0 serves at (1 - severity) of nominal rate",
+        build=_straggler,
+    ),
+    "flaky": FaultClass(
+        name="flaky",
+        description="RPCs to OST 0 are lost with probability = severity "
+                    "(client retries with timeout + backoff)",
+        build=_flaky,
+        severities=(0.0, 0.1, 0.25, 0.4, 0.5),
+        probe=0.4,
+        # the curve sweeps loss rates where the default 8-attempt budget
+        # has a non-negligible chance of exhausting somewhere in the run
+        # (p^8 per RPC sequence, hundreds of sequences) and aborting
+        # with FaultExhaustedError; the degradation curve wants the
+        # survive-and-pay regime, so it deepens the budget — the
+        # exhaustion regime itself is the resilience bench's subject
+        retry={"max_attempts": 16},
+    ),
+    "slownode": FaultClass(
+        name="slownode",
+        description="node 0's NIC and cores run at (1 - severity) of "
+                    "nominal speed",
+        build=_slownode,
+        collective_mode="detailed",
+    ),
+    "stall": FaultClass(
+        name="stall",
+        description="OST 0 stops serving for severity x stall_unit "
+                    "seconds at t=0",
+        build=_stall,
+    ),
+}
+
+
+def scale_info(scale: str) -> dict[str, Any]:
+    info = SCALES.get(scale)
+    if info is None:
+        raise ConfigError(
+            f"unknown fault-sweep scale {scale!r}; "
+            f"known: {', '.join(sorted(SCALES))}")
+    return info
+
+
+def fault_class(name: str) -> FaultClass:
+    fc = FAULT_CLASSES.get(name)
+    if fc is None:
+        raise ConfigError(
+            f"unknown fault class {name!r}; "
+            f"known: {', '.join(sorted(FAULT_CLASSES))}")
+    return fc
+
+
+def sweep_tasks(fc: FaultClass, severities: Sequence[float], scale: str,
+                protocols: Sequence[str] = ("ext2ph", "parcoll"),
+                retry: Optional[dict] = None,
+                collective_mode: Optional[str] = None,
+                seed: int = 0) -> list[ExperimentTask]:
+    """The (severity x protocol) task grid, row-major in ``severities``.
+
+    Every task is an independent simulation, so the grid parallelizes
+    over executor workers and hits the run cache per (plan, protocol)
+    point — re-sweeping with one new severity only runs the new column.
+    """
+    info = scale_info(scale)
+    mode = collective_mode or fc.collective_mode
+    if retry is None:
+        retry = fc.retry
+    tasks = []
+    for sev in severities:
+        plan = fc.build(float(sev), info)
+        for proto in protocols:
+            hints = dict(PROTOCOLS[proto])
+            if proto == "parcoll":
+                hints["parcoll_ngroups"] = info["ngroups"]
+            cfg = ExperimentConfig(
+                nprocs=info["nprocs"],
+                collective_mode=mode,
+                lustre={"n_osts": info["n_osts"],
+                        "default_stripe_count": info["n_osts"],
+                        "default_stripe_size": info["stripe_size"]},
+                seed=seed,
+                faults=plan,
+                retry=dict(retry) if retry else {},
+            )
+            wl = IORConfig(block_size=info["stripe_size"],
+                           transfer_size=info["stripe_size"] // info["rounds"],
+                           hints=hints)
+            tasks.append(ExperimentTask(cfg, "ior", wl))
+    return tasks
+
+
+def rank_elapsed(res: RunResult) -> list[float]:
+    """Sorted per-rank write-phase elapsed seconds."""
+    return sorted(s.write_times.end - s.write_times.start
+                  for s in res.per_rank if s.write_times is not None)
+
+
+def _median(xs: Sequence[float]) -> float:
+    if not xs:
+        return 0.0
+    n = len(xs)
+    mid = n // 2
+    return xs[mid] if n % 2 else 0.5 * (xs[mid - 1] + xs[mid])
+
+
+def fault_sweep(fault: str = "straggler",
+                severities: Optional[Sequence[float]] = None,
+                scale: str = "small",
+                protocols: Sequence[str] = ("ext2ph", "parcoll"),
+                retry: Optional[dict] = None,
+                collective_mode: Optional[str] = None,
+                executor: Optional[ExperimentExecutor] = None
+                ) -> FigureResult:
+    """Degradation curves of one fault class across protocols.
+
+    The headline metric is the *median rank's* retained speed — the
+    median rank's healthy write elapsed over its faulted elapsed.  Wall
+    bandwidth cannot distinguish the protocols (the faulty component's
+    own data bounds the last finisher either way); what partitioning
+    changes is how many ranks that component drags with it.  Under flat
+    ext2ph every collective call re-couples all ranks to the slow
+    aggregator, so the median rank degrades like the worst one; under
+    ParColl only the faulty component's subgroup does, so the median
+    rank stays near 100%.  ``affected`` counts ranks slower than 1.5x
+    their protocol's healthy median.
+    """
+    fc = fault_class(fault)
+    sevs = tuple(float(s) for s in (severities or fc.severities))
+    if not sevs or sevs[0] != 0.0:
+        sevs = (0.0,) + tuple(s for s in sevs if s != 0.0)
+    ex = executor or default_executor()
+    tasks = sweep_tasks(fc, sevs, scale, protocols=protocols, retry=retry,
+                        collective_mode=collective_mode)
+    results = ex.run_many(tasks)
+
+    by_point: dict[tuple[float, str], RunResult] = {}
+    it = iter(results)
+    for sev in sevs:
+        for proto in protocols:
+            by_point[(sev, proto)] = next(it)
+
+    healthy_med = {p: _median(rank_elapsed(by_point[(0.0, p)]))
+                   for p in protocols}
+    headers = ["severity"]
+    for proto in protocols:
+        headers += [f"{proto} MB/s", f"{proto} median %", f"{proto} affected"]
+    rows = []
+    series: dict[str, Any] = {f"{p} retained": {} for p in protocols}
+    retry_counts: dict[str, dict[float, int]] = {p: {} for p in protocols}
+    wall_bw: dict[str, dict[float, float]] = {p: {} for p in protocols}
+    for sev in sevs:
+        row: list[Any] = [sev]
+        for proto in protocols:
+            res = by_point[(sev, proto)]
+            elapsed = rank_elapsed(res)
+            med = _median(elapsed)
+            frac = healthy_med[proto] / med if med > 0 else 0.0
+            affected = sum(1 for e in elapsed
+                           if e > 1.5 * healthy_med[proto])
+            series[f"{proto} retained"][sev] = round(frac, 4)
+            wall_bw[proto][sev] = res.write_bandwidth
+            fr = res.breakdown.get("fault_retry", {})
+            retry_counts[proto][sev] = int(fr.get("count", 0))
+            row += [round(mb_per_s(res.write_bandwidth), 1),
+                    round(100 * frac, 1), affected]
+        rows.append(row)
+    series["retried_rpcs"] = retry_counts
+    series["wall_bandwidth"] = wall_bw
+    info = scale_info(scale)
+    return FigureResult(
+        figure=f"fault sweep [{fc.name}]",
+        title=fc.description,
+        headers=headers,
+        rows=rows,
+        series=series,
+        notes=(f"IOR, {info['nprocs']} procs, {info['rounds']} collective "
+               f"rounds over one {info['stripe_size'] >> 10} KB "
+               f"block/rank, {info['n_osts']} OSTs (rank r -> OST r); "
+               f"parcoll ngroups={info['ngroups']}, collectives "
+               f"{collective_mode or fc.collective_mode}; 'median %' = "
+               f"median rank's healthy/faulted elapsed, 'affected' = "
+               f"ranks slower than 1.5x healthy median"),
+    )

@@ -26,6 +26,38 @@ def format_cell(v: Any) -> str:
     return str(v)
 
 
+def breakdown_table(breakdown: dict, title: str | None = None) -> str:
+    """Per-category time table from a :func:`summarize` breakdown.
+
+    Shows the operation count next to the times — 'fault_retry 0.31s'
+    is unreadable without knowing it took 14 lost RPCs to get there.
+    """
+    headers = ["category", "max (s)", "mean (s)", "sum (s)", "count"]
+    rows = [
+        [cat,
+         v.get("max", 0.0), v.get("mean", 0.0), v.get("sum", 0.0),
+         int(v.get("count", 0))]
+        for cat, v in sorted(breakdown.items())
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def run_report(result: Any, title: str | None = None) -> str:
+    """One run's summary: bandwidth, platform counters, full breakdown.
+
+    ``result`` is a :class:`~repro.harness.runner.RunResult`; the
+    breakdown table includes per-category operation counts.
+    """
+    cfg = result.config
+    lines = [title or f"run: {cfg.nprocs} procs, backend {result.backend}"]
+    lines.append(f"  write bandwidth: {mb_per_s(result.write_bandwidth):,.1f}"
+                 f" MB/s   elapsed: {result.elapsed_total:.4g} s")
+    lines.append(f"  events: {result.events:,}   "
+                 f"messages: {result.messages:,}")
+    lines.append(breakdown_table(result.breakdown))
+    return "\n".join(lines)
+
+
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
                  title: str | None = None) -> str:
     """Fixed-width table with right-aligned numeric columns."""

@@ -23,10 +23,17 @@ class ExperimentConfig:
     model mode (no data bytes) so paper-scale runs stay cheap.
 
     ``collective_mode`` is a collective-fidelity backend spec
-    (:mod:`repro.simmpi.backends`): ``analytic``, ``detailed``, or
+    (:mod:`repro.simmpi.backends`): ``analytic``, ``detailed``,
     ``hybrid[:<category>=<fidelity>,...]`` for per-category selection —
     the large-rank sweep configuration is
-    ``hybrid:sync=analytic,default=detailed``.
+    ``hybrid:sync=analytic,default=detailed`` — or
+    ``sizethreshold:<bytes>`` for size-dependent dispatch.
+
+    ``faults`` is a :class:`~repro.faults.FaultPlan` (or its ``to_dict``
+    mapping / event tuple); an empty plan is the default and leaves the
+    platform untouched.  ``retry`` holds keyword overrides for the
+    platform :class:`~repro.faults.RetryPolicy`.  Both hash into the run
+    cache key, so runs differing only in faults or retry never collide.
     """
 
     nprocs: int
@@ -37,17 +44,30 @@ class ExperimentConfig:
     net: dict = field(default_factory=dict)
     lustre: dict = field(default_factory=dict)
     seed: int = 0
+    faults: Any = None
+    retry: dict = field(default_factory=dict)
 
     def build(self) -> tuple[World, LustreFS, MPIIO]:
+        from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+
         machine = MachineConfig(nprocs=self.nprocs,
                                 cores_per_node=self.cores_per_node,
                                 mapping=self.mapping)
+        plan = FaultPlan.coerce(self.faults)
+        injector = None
+        if not plan.is_empty:
+            injector = FaultInjector(plan, seed=self.seed)
         topology = Torus3D.fit(machine.nnodes) if self.use_torus else None
         world = World(machine, net_params=NetworkParams(**self.net),
                       topology=topology,
-                      collective_mode=self.collective_mode)
+                      collective_mode=self.collective_mode,
+                      faults=injector)
         lustre_kw = {"store_data": False, **self.lustre}
-        fs = LustreFS(world.engine, LustreParams(**lustre_kw), seed=self.seed)
+        retry = RetryPolicy(**self.retry) if self.retry else None
+        fs = LustreFS(world.engine, LustreParams(**lustre_kw), seed=self.seed,
+                      faults=injector, retry=retry)
+        if injector is not None:
+            injector.validate_platform(fs.params.n_osts, machine.nnodes)
         return world, fs, MPIIO(world, fs)
 
 

@@ -115,11 +115,15 @@ class LustreFS:
     """The shared file system instance for one simulated machine."""
 
     def __init__(self, engine: Engine, params: Optional[LustreParams] = None,
-                 seed: int = 0, trace: Optional["object"] = None):
+                 seed: int = 0, trace: Optional["object"] = None,
+                 faults: Optional["object"] = None,
+                 retry: Optional["object"] = None):
         self.engine = engine
         self.params = params or LustreParams()
         #: optional TraceRecorder receiving ('ost', {...}) events
         self.trace = trace
+        #: optional FaultInjector (OST degradation/stalls/flaky RPCs)
+        self.faults = faults
         p = self.params
         self.mds = FIFOResource(engine, "mds", rate=1e12, overhead=p.mds_op_cost)
         self.osts = [
@@ -127,6 +131,17 @@ class LustreFS:
                          overhead=p.ost_rpc_overhead)
             for i in range(p.n_osts)
         ]
+        if faults is not None:
+            for i, res in enumerate(self.osts):
+                res.profile = faults.ost_profile(i)
+        #: default RetryPolicy for faulted RPCs (hints may override per file)
+        if retry is None:
+            from repro.faults.retry import RetryPolicy
+
+            retry = RetryPolicy()
+        self.retry = retry
+        #: per-client (retry seconds, lost RPCs) since last take_retry()
+        self._retry_accum: dict[int, tuple[float, int]] = {}
         self._rng = RngStreams(seed)
         self._ost_rngs = [self._rng.stream(f"ost-{i}") for i in range(p.n_osts)]
         #: last byte each OST served, per file (sequentiality tracking)
@@ -181,10 +196,20 @@ class LustreFS:
             return 0.0
         return float(self._ost_rngs[ost].random()) * j * stime
 
+    def take_retry(self, client: int) -> tuple[float, int]:
+        """Pop (retry seconds, lost RPCs) accumulated for one client.
+
+        The MPI-IO layer calls this at each io-charge site so that time
+        lost to fault retries lands in the ``fault_retry`` breakdown
+        category instead of ``io``.
+        """
+        return self._retry_accum.pop(client, (0.0, 0))
+
     def _do_io(self, f: LustreFile, client: int, offsets, lengths,
-               mode: str) -> float:
+               mode: str, retry: Optional["object"] = None) -> float:
         """Reserve OST time for the access; returns the completion time."""
         p = self.params
+        policy = retry if retry is not None else self.retry
         chunk_off, chunk_len, chunk_ost = f.layout.chunks(offsets, lengths)
         if chunk_len.size == 0:
             return self.engine.now
@@ -223,19 +248,34 @@ class LustreFS:
                      + seek)
             base = res.service_time(nbytes) + extra
             extra += self._jitter_time(ost, base)
-            finished = res.reserve(nbytes, extra=extra)
+            now = self.engine.now
+            if self.faults is not None:
+                # a lost RPC dies in transit: the OST is never occupied,
+                # the client just re-issues after timeout + backoff, so
+                # the request reaches the server `delay` seconds late
+                delay, failures = self.faults.rpc_delay(ost, now, policy)
+                if failures:
+                    self.faults.record_retry(ost, delay, failures)
+                    held_s, held_n = self._retry_accum.get(client, (0.0, 0))
+                    self._retry_accum[client] = (held_s + delay,
+                                                 held_n + failures)
+                span_start, finished = res.reserve_span(now + delay, nbytes,
+                                                        extra=extra)
+            else:
+                span_start, finished = res.reserve_span(now, nbytes,
+                                                        extra=extra)
             if self.trace is not None:
-                stime = res.service_time(nbytes) + extra
                 self.trace.record(self.engine.now, "ost", {
                     "ost": ost, "client": client, "mode": mode,
-                    "start": finished - stime, "end": finished,
+                    "start": span_start, "end": finished,
                     "nbytes": nbytes, "nchunks": nchunks,
                 })
             done = max(done, finished)
         return done + p.client_overhead
 
     def write(self, f: LustreFile, client: int, offsets, lengths,
-              data: Optional[np.ndarray] = None
+              data: Optional[np.ndarray] = None,
+              retry: Optional["object"] = None
               ) -> Generator[Any, Any, int]:
         """Write segments (densely packed ``data``) as one client operation.
 
@@ -260,18 +300,19 @@ class LustreFS:
                 pos += ln
         for off, ln in zip(offsets.tolist(), lengths.tolist()):
             f.tracker.write(off, ln)
-        done = self._do_io(f, client, offsets, lengths, "w")
+        done = self._do_io(f, client, offsets, lengths, "w", retry=retry)
         self.bytes_written += total
         yield Sleep(done - self.engine.now)
         return total
 
-    def read(self, f: LustreFile, client: int, offsets, lengths
+    def read(self, f: LustreFile, client: int, offsets, lengths,
+             retry: Optional["object"] = None
              ) -> Generator[Any, Any, Optional[np.ndarray]]:
         """Read segments; returns densely packed bytes (None in model mode)."""
         offsets = np.asarray(offsets, dtype=np.int64).ravel()
         lengths = np.asarray(lengths, dtype=np.int64).ravel()
         total = int(lengths.sum())
-        done = self._do_io(f, client, offsets, lengths, "r")
+        done = self._do_io(f, client, offsets, lengths, "r", retry=retry)
         self.bytes_read += total
         yield Sleep(done - self.engine.now)
         if f.store is None:

@@ -101,14 +101,15 @@ def sieved_write(env: IOEnv, segs: Segments, data: Optional[np.ndarray],
         if sub_total:
             window = yield from env.fs.read(env.lfile, client=comm.proc.rank,
                                             offsets=[w_lo],
-                                            lengths=[w_hi - w_lo])
+                                            lengths=[w_hi - w_lo],
+                                            retry=env.retry)
             if verified:
                 scatter_segments(window, sub_offs - w_lo, sub_lens,
                                  data[pos:pos + sub_total])
             pos += sub_total
             yield from env.fs.write(env.lfile, client=comm.proc.rank,
                                     offsets=[w_lo], lengths=[w_hi - w_lo],
-                                    data=window)
+                                    data=window, retry=env.retry)
         w_lo = w_hi
-    env.breakdown.add("io", comm.now - t0)
+    env.charge_io(t0)
     return total

@@ -106,7 +106,23 @@ class MPIFile:
 
     def _env(self) -> IOEnv:
         return IOEnv(comm=self.comm, machine=self.io.world.machine,
-                     fs=self.io.fs, lfile=self.lfile, hints=self.hints)
+                     fs=self.io.fs, lfile=self.lfile, hints=self.hints,
+                     retry=self._retry_policy())
+
+    def _retry_policy(self):
+        """Effective RetryPolicy: the fs default plus any hint overrides.
+
+        None (no overrides) keeps the platform policy — the env then
+        defers to ``fs.retry`` at each call, so zero-fault runs build no
+        policy objects at all.
+        """
+        overrides = self.hints.retry_overrides()
+        if not overrides:
+            return None
+        try:
+            return self.io.fs.retry.with_(**overrides)
+        except Exception as exc:  # ConfigError from RetryPolicy validation
+            raise MPIIOError(f"invalid retry hints: {exc}") from exc
 
     def set_view(self, disp: int = 0, etype: Datatype = BYTE,
                  filetype: Optional[Datatype] = None) -> None:

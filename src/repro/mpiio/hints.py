@@ -66,6 +66,15 @@ class IOHints:
     #: world's backend.  Every rank opens with the same hints, so the
     #: override is installed symmetrically.
     collective_mode: Optional[str] = None
+    #: RPC retry-policy overrides for this file (only consulted under an
+    #: active fault plan); None inherits the platform's RetryPolicy.
+    #: retry_max_attempts=1 disables retry: the first lost RPC raises
+    #: FaultExhaustedError.
+    retry_max_attempts: Optional[int] = None
+    retry_timeout: Optional[float] = None
+    retry_backoff_base: Optional[float] = None
+    retry_backoff_factor: Optional[float] = None
+    retry_jitter: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.cb_buffer_size <= 0:
@@ -100,6 +109,30 @@ class IOHints:
                 raise MPIIOError("cb_config_ranks must not be empty")
             if len(set(self.cb_config_ranks)) != len(self.cb_config_ranks):
                 raise MPIIOError("cb_config_ranks contains duplicates")
+        if self.retry_max_attempts is not None and self.retry_max_attempts < 1:
+            raise MPIIOError("retry_max_attempts must be >= 1")
+        if self.retry_timeout is not None and self.retry_timeout <= 0:
+            raise MPIIOError("retry_timeout must be > 0")
+        if self.retry_backoff_base is not None and self.retry_backoff_base < 0:
+            raise MPIIOError("retry_backoff_base must be >= 0")
+        if (self.retry_backoff_factor is not None
+                and self.retry_backoff_factor < 1.0):
+            raise MPIIOError("retry_backoff_factor must be >= 1")
+        if self.retry_jitter is not None and self.retry_jitter < 0:
+            raise MPIIOError("retry_jitter must be >= 0")
+
+    def retry_overrides(self) -> dict[str, Any]:
+        """The non-None retry_* fields as RetryPolicy keyword overrides."""
+        out = {}
+        for hint, kw in (("retry_max_attempts", "max_attempts"),
+                         ("retry_timeout", "timeout"),
+                         ("retry_backoff_base", "backoff_base"),
+                         ("retry_backoff_factor", "backoff_factor"),
+                         ("retry_jitter", "jitter")):
+            val = getattr(self, hint)
+            if val is not None:
+                out[kw] = val
+        return out
 
     @classmethod
     def from_dict(cls, info: Mapping[str, Any]) -> "IOHints":

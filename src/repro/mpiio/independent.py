@@ -33,8 +33,9 @@ def independent_write(env: IOEnv, segs: Segments,
         return 0
     t0 = comm.now
     yield from env.fs.write(env.lfile, client=comm.proc.rank,
-                            offsets=offs, lengths=lens, data=data)
-    env.breakdown.add("io", comm.now - t0)
+                            offsets=offs, lengths=lens, data=data,
+                            retry=env.retry)
+    env.charge_io(t0)
     return total
 
 
@@ -59,12 +60,14 @@ def independent_read(env: IOEnv, segs: Segments,
     if data_sieving and offs.size > 1 and total >= sieve_density * span:
         base = int(offs[0])
         big = yield from env.fs.read(env.lfile, client=comm.proc.rank,
-                                     offsets=[base], lengths=[span])
-        env.breakdown.add("io", comm.now - t0)
+                                     offsets=[base], lengths=[span],
+                                     retry=env.retry)
+        env.charge_io(t0)
         if not verified:
             return None
         return gather_segments(big, offs - base, lens)
     out = yield from env.fs.read(env.lfile, client=comm.proc.rank,
-                                 offsets=offs, lengths=lens)
-    env.breakdown.add("io", comm.now - t0)
+                                 offsets=offs, lengths=lens,
+                                 retry=env.retry)
+    env.charge_io(t0)
     return out

@@ -57,10 +57,30 @@ class IOEnv:
     fs: LustreFS
     lfile: LustreFile
     hints: IOHints
+    #: effective RetryPolicy for this file's RPCs (None = the fs default)
+    retry: Optional[object] = None
 
     @property
     def breakdown(self):
         return self.comm.proc.breakdown
+
+    def charge_io(self, t0: float) -> None:
+        """Charge time since ``t0`` to 'io', splitting out fault retries.
+
+        Pops the retry seconds the file system accumulated for this rank
+        since the last charge and books them as ``fault_retry`` (count =
+        lost RPCs); the remainder stays 'io'.  Capped at the elapsed
+        wall time: retries of an overlapped (pipelined) write may hide
+        under exchange time already charged elsewhere.
+        """
+        elapsed = self.comm.now - t0
+        retry_s, failures = self.fs.take_retry(self.comm.proc.rank)
+        if failures:
+            retry_s = min(retry_s, elapsed)
+            self.breakdown.add("fault_retry", retry_s, n=failures)
+            self.breakdown.add("io", elapsed - retry_s)
+        else:
+            self.breakdown.add("io", elapsed)
 
 
 def data_positions(offs: np.ndarray, prefix: np.ndarray,
@@ -244,7 +264,7 @@ def collective_write(env: IOEnv, segs: Segments,
         t0 = comm.now
         for task in pending:
             yield Join(task)
-        env.breakdown.add("io", comm.now - t0)
+        env.charge_io(t0)
     return total
 
 
@@ -317,14 +337,14 @@ def _aggregate_and_write(env: IOEnv, all_counts: np.ndarray,
     env.breakdown.add("compute", copy_t)
     write_gen = env.fs.write(env.lfile, client=comm.proc.rank,
                              offsets=w_offs, lengths=w_lens,
-                             data=merged_data)
+                             data=merged_data, retry=env.retry)
     if pending is not None and env.hints.pipelined_io:
         task = yield Spawn(write_gen, f"pipelined-write-r{rnd}")
         pending.append(task)
         return
     t0 = comm.now
     yield from write_gen
-    env.breakdown.add("io", comm.now - t0)
+    env.charge_io(t0)
 
 
 def collective_read(env: IOEnv, segs: Segments,
@@ -418,8 +438,9 @@ def _read_and_reply(env: IOEnv, all_counts: np.ndarray, local_want,
                      np.concatenate([r[1][1] for r in requests]))
     t0 = comm.now
     union_data = yield from env.fs.read(env.lfile, client=comm.proc.rank,
-                                        offsets=union[0], lengths=union[1])
-    env.breakdown.add("io", comm.now - t0)
+                                        offsets=union[0], lengths=union[1],
+                                        retry=env.retry)
+    env.charge_io(t0)
     nbytes = int(union[1].sum())
     copy_t = nbytes / memcpy_bw
     yield Sleep(copy_t)

@@ -159,7 +159,7 @@ def parcoll_write(env: IOEnv, segs: Segments, data: Optional[np.ndarray],
     """
     plan, subcomm, sub_hints, iview = yield from _prepare(env, segs, cache)
     sub_env = IOEnv(comm=subcomm, machine=env.machine, fs=env.fs,
-                    lfile=env.lfile, hints=sub_hints)
+                    lfile=env.lfile, hints=sub_hints, retry=env.retry)
     if iview is not None and env.hints.parcoll_data_path == "logical":
         return (yield from collective_write(sub_env, iview.logical_segments,
                                             data, translate=iview.translate))
@@ -171,7 +171,7 @@ def parcoll_read(env: IOEnv, segs: Segments, cache: dict, view=None
     """Partitioned collective read; returns this rank's dense bytes."""
     plan, subcomm, sub_hints, iview = yield from _prepare(env, segs, cache)
     sub_env = IOEnv(comm=subcomm, machine=env.machine, fs=env.fs,
-                    lfile=env.lfile, hints=sub_hints)
+                    lfile=env.lfile, hints=sub_hints, retry=env.retry)
     if iview is not None and env.hints.parcoll_data_path == "logical":
         return (yield from collective_read(sub_env, iview.logical_segments,
                                            translate=iview.translate))

@@ -15,18 +15,101 @@ unaggregated small I/O slow on a real parallel file system.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+import math
+from bisect import bisect_right
+from typing import Any, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.effects import Sleep
 from repro.sim.engine import Engine
 
 
+class ServiceProfile:
+    """A piecewise-constant service-*speed* multiplier over virtual time.
+
+    Built from ``(start, end, factor)`` windows: inside a window the
+    resource serves at ``factor`` times its nominal rate (``factor`` < 1
+    degrades, ``factor`` == 0 stalls, overlapping windows multiply).
+    ``end=None`` means the window never closes.  Outside every window the
+    speed is 1.0, so a resource without any active window behaves exactly
+    like an unprofiled one.
+
+    The profile answers one question: given a request that *starts*
+    service at ``start`` and needs ``work`` seconds at nominal speed,
+    when does it finish?  Deterministic piecewise integration — no
+    randomness, no engine coupling — which keeps time-varying resources
+    reproducible and cheap.
+    """
+
+    __slots__ = ("times", "speeds")
+
+    def __init__(self, windows: Iterable[tuple[float, Optional[float], float]]):
+        ws: list[tuple[float, Optional[float], float]] = []
+        points = {0.0}
+        for start, end, factor in windows:
+            start = float(start)
+            factor = float(factor)
+            if start < 0:
+                raise SimulationError(
+                    f"profile window start must be >= 0, got {start}")
+            if factor < 0:
+                raise SimulationError(
+                    f"profile speed factor must be >= 0, got {factor}")
+            if end is not None:
+                end = float(end)
+                if end <= start:
+                    raise SimulationError(
+                        f"profile window must end after it starts "
+                        f"({start} >= {end})")
+                points.add(end)
+            ws.append((start, end, factor))
+            points.add(start)
+        #: segment boundaries; ``speeds[i]`` holds on [times[i], times[i+1])
+        self.times = sorted(points)
+        self.speeds = []
+        for t in self.times:
+            speed = 1.0
+            for start, end, factor in ws:
+                if start <= t and (end is None or t < end):
+                    speed *= factor
+            self.speeds.append(speed)
+        if self.speeds[-1] == 0.0:
+            raise SimulationError(
+                "service profile ends in a permanent stall (an open-ended "
+                "window with factor 0); requests would never complete"
+            )
+
+    def speed_at(self, t: float) -> float:
+        """Effective speed multiplier at virtual time ``t``."""
+        i = bisect_right(self.times, t) - 1
+        if i < 0:
+            return 1.0
+        return self.speeds[i]
+
+    def finish_time(self, start: float, work: float) -> float:
+        """Completion time of ``work`` nominal-speed seconds begun at ``start``."""
+        if work <= 0.0:
+            return start
+        i = max(0, bisect_right(self.times, start) - 1)
+        t = float(start)
+        while True:
+            speed = self.speeds[i]
+            seg_end = (self.times[i + 1] if i + 1 < len(self.times)
+                       else math.inf)
+            if speed > 0.0:
+                dt = work / speed
+                if t + dt <= seg_end:
+                    return t + dt
+                work -= (seg_end - t) * speed
+            t = seg_end
+            i += 1
+
+
 class FIFOResource:
     """A serially-served resource: ``service time = overhead + nbytes/rate``."""
 
     __slots__ = ("engine", "name", "rate", "overhead", "busy_until",
-                 "total_bytes", "total_requests", "busy_time")
+                 "total_bytes", "total_requests", "busy_time", "profile")
 
     def __init__(self, engine: Engine, name: str, rate: float,
                  overhead: float = 0.0):
@@ -44,6 +127,8 @@ class FIFOResource:
         self.total_bytes = 0
         self.total_requests = 0
         self.busy_time = 0.0
+        #: optional ServiceProfile (time-varying speed); None = nominal
+        self.profile: Optional[ServiceProfile] = None
 
     def service_time(self, nbytes: int) -> float:
         return self.overhead + nbytes / self.rate
@@ -64,16 +149,35 @@ class FIFOResource:
         NIC before it has left the sender, but the reservation must be
         made now so later arrivals queue behind it deterministically.
         """
+        return self.reserve_span(t, nbytes, extra=extra)[1]
+
+    def reserve_span(self, t: float, nbytes: int, extra: float = 0.0
+                     ) -> tuple[float, float]:
+        """Like :meth:`reserve_at` but returns ``(service_start, done)``.
+
+        Without a profile this computes exactly the same arithmetic as it
+        always has (``done = start + stime``; the reported start is
+        ``done - stime`` so existing callers that derived it by
+        subtraction see bit-identical values).  With a profile, service
+        time stretches through slow/stalled windows via
+        :meth:`ServiceProfile.finish_time`.
+        """
         if nbytes < 0:
             raise SimulationError(f"resource {self.name!r}: negative size {nbytes}")
         start = max(t, self.busy_until)
         stime = self.service_time(nbytes) + extra
-        done = start + stime
+        if self.profile is None:
+            done = start + stime
+            span_start = done - stime
+            self.busy_time += stime
+        else:
+            done = self.profile.finish_time(start, stime)
+            span_start = start
+            self.busy_time += done - start
         self.busy_until = done
         self.total_bytes += nbytes
         self.total_requests += 1
-        self.busy_time += stime
-        return done
+        return span_start, done
 
     def service(self, nbytes: int, extra: float = 0.0) -> Generator[Any, Any, float]:
         """Blocking helper: wait until this request has been served."""

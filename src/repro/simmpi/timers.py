@@ -12,8 +12,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable
 
-#: canonical categories used throughout the I/O stack
-CATEGORIES = ("sync", "exchange", "io", "compute", "meta", "other")
+#: canonical categories used throughout the I/O stack; 'fault_retry' is
+#: the client-side time lost to RPC timeouts and backoff under an active
+#: fault plan (always 0 without one)
+CATEGORIES = ("sync", "exchange", "io", "compute", "meta", "fault_retry",
+              "other")
 
 
 class TimeBreakdown:
@@ -25,11 +28,17 @@ class TimeBreakdown:
         self.times: Dict[str, float] = {}
         self.counts: Dict[str, int] = {}
 
-    def add(self, category: str, dt: float) -> None:
+    def add(self, category: str, dt: float, n: int = 1) -> None:
+        """Charge ``dt`` seconds (and ``n`` operations) to ``category``.
+
+        ``n`` defaults to 1 — one blocking call, one operation.  Retry
+        accounting passes the number of lost RPCs instead, so the count
+        column of a report answers "how many times did we retry".
+        """
         if dt < 0:
             raise ValueError(f"negative duration {dt} for {category!r}")
         self.times[category] = self.times.get(category, 0.0) + dt
-        self.counts[category] = self.counts.get(category, 0) + 1
+        self.counts[category] = self.counts.get(category, 0) + n
 
     def get(self, category: str) -> float:
         return self.times.get(category, 0.0)
@@ -61,7 +70,12 @@ class TimeBreakdown:
 
 
 def summarize(breakdowns: list[TimeBreakdown]) -> dict[str, dict[str, float]]:
-    """Aggregate per-rank breakdowns: max / mean / sum per category."""
+    """Aggregate per-rank breakdowns: max / mean / sum / count per category.
+
+    ``count`` is the total operation count across ranks (an int) — for
+    most categories the number of blocking calls, for ``fault_retry``
+    the number of lost RPCs.
+    """
     cats: set[str] = set()
     for bd in breakdowns:
         cats.update(bd.times)
@@ -73,5 +87,6 @@ def summarize(breakdowns: list[TimeBreakdown]) -> dict[str, dict[str, float]]:
             "max": max(vals),
             "mean": sum(vals) / n,
             "sum": sum(vals),
+            "count": sum(bd.counts.get(cat, 0) for bd in breakdowns),
         }
     return out

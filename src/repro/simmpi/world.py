@@ -31,7 +31,8 @@ from repro.simmpi.timers import TimeBreakdown
 class Proc:
     """Per-rank state: mailbox, node placement, time accounting."""
 
-    __slots__ = ("world", "rank", "node", "mailbox", "breakdown", "comm_world")
+    __slots__ = ("world", "rank", "node", "mailbox", "breakdown", "comm_world",
+                 "cpu_profile")
 
     def __init__(self, world: "World", rank: int):
         self.world = world
@@ -40,9 +41,14 @@ class Proc:
         self.mailbox = Mailbox()
         self.breakdown = TimeBreakdown()
         self.comm_world: Communicator = None  # type: ignore[assignment]
+        #: ServiceProfile from a NodeSlowdown fault, or None (nominal CPU)
+        self.cpu_profile = None
 
     def compute(self, seconds: float) -> Generator[Any, Any, None]:
         """Spend ``seconds`` of local CPU time (charged to 'compute')."""
+        if self.cpu_profile is not None:
+            seconds = self.cpu_profile.finish_time(
+                self.world.engine.now, seconds) - self.world.engine.now
         yield Sleep(seconds)
         self.breakdown.add("compute", seconds)
 
@@ -85,7 +91,8 @@ class World:
                  net_params: Optional[NetworkParams] = None,
                  topology: Optional[Torus3D] = None,
                  collective_mode: str | CollectiveBackend = "analytic",
-                 engine: Optional[Engine] = None):
+                 engine: Optional[Engine] = None,
+                 faults: Optional["object"] = None):
         if isinstance(machine, MachineConfig):
             machine = Machine(machine)
         self.engine = engine or Engine()
@@ -93,12 +100,23 @@ class World:
         self.network = NetworkModel(self.engine, machine, net_params, topology)
         #: default backend for every communicator without an override
         self.backend = resolve_backend(collective_mode)
+        #: optional FaultInjector applying NodeSlowdown events here
+        self.faults = faults
         self.nprocs = machine.nprocs
         self._msg_seq = 0
         self._next_ctx = 1
         #: registry of split-derived descriptors keyed (parent ctx, seq, color)
         self._split_registry: dict[tuple, CommDescriptor] = {}
         self.procs = [Proc(self, r) for r in range(self.nprocs)]
+        if faults is not None:
+            # a slow node is slow end to end: CPU and both NIC directions
+            for n in range(machine.nnodes):
+                prof = faults.node_profile(n)
+                if prof is not None:
+                    self.network.tx[n].profile = prof
+                    self.network.rx[n].profile = prof
+            for proc in self.procs:
+                proc.cpu_profile = faults.node_profile(proc.node)
         world_desc = CommDescriptor(ctx=0, members=list(range(self.nprocs)))
         for proc in self.procs:
             proc.comm_world = Communicator(proc, world_desc)
@@ -407,7 +425,8 @@ class Communicator:
 
     def _collective(self, category: str,
                     analytic_path: Callable[[], Generator],
-                    detailed_path: Callable[[], Generator]
+                    detailed_path: Callable[[], Generator],
+                    nbytes: Optional[int] = None
                     ) -> Generator[Any, Any, Any]:
         """Run one collective through the backend-selected path.
 
@@ -424,13 +443,19 @@ class Communicator:
         collective — raises a clear :class:`ParCollError` at the second
         arrival instead of deadlocking the message schedule against the
         synchronization site.
+
+        ``nbytes`` is the *caller-declared* per-rank message size of the
+        collective (None when the caller let payload introspection size
+        it).  Size-aware backends dispatch on it; it must be the declared
+        parameter verbatim — never a locally-computed ``sizeof`` — so
+        every rank hands the backend the same number.
         """
         self._op_state[0] += 1
         t0 = self.now
         if self.size == 1:
             fid = "analytic"  # degenerate: immediate, no traffic either way
         else:
-            fid = self.backend.fidelity(category)
+            fid = self.backend.fidelity(category, nbytes)
             self._check_fidelity_symmetry(fid, category)
         paths = {"analytic": analytic_path, "detailed": detailed_path}
         path = paths.get(fid)
@@ -456,7 +481,7 @@ class Communicator:
             )
 
         return (yield from self._collective(
-            category, a, lambda: detailed.barrier(self)))
+            category, a, lambda: detailed.barrier(self), nbytes=0))
 
     def bcast(self, obj: Any, root: int = 0, nbytes: Optional[int] = None,
               category: str = "sync") -> Generator[Any, Any, Any]:
@@ -474,7 +499,8 @@ class Communicator:
             category,
             lambda: self._analytic_site(obj if self.rank == root else None,
                                         combine, cost, kind="bcast"),
-            lambda: detailed.bcast(self, obj, root, nbytes)))
+            lambda: detailed.bcast(self, obj, root, nbytes),
+            nbytes=nbytes))
 
     def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0,
                nbytes: Optional[int] = None,
@@ -492,7 +518,8 @@ class Communicator:
         return (yield from self._collective(
             category,
             lambda: self._analytic_site(value, combine, cost, kind="reduce"),
-            lambda: detailed.reduce(self, value, op, root, nbytes)))
+            lambda: detailed.reduce(self, value, op, root, nbytes),
+            nbytes=nbytes))
 
     def allreduce(self, value: Any, op: ReduceOp = SUM,
                   nbytes: Optional[int] = None,
@@ -511,7 +538,8 @@ class Communicator:
             category,
             lambda: self._analytic_site(value, combine, cost,
                                         kind="allreduce"),
-            lambda: detailed.allreduce(self, value, op, nbytes)))
+            lambda: detailed.allreduce(self, value, op, nbytes),
+            nbytes=nbytes))
 
     def gather(self, value: Any, root: int = 0, nbytes: Optional[int] = None,
                category: str = "sync") -> Generator[Any, Any, Optional[list]]:
@@ -528,7 +556,8 @@ class Communicator:
         return (yield from self._collective(
             category,
             lambda: self._analytic_site(value, combine, cost, kind="gather"),
-            lambda: detailed.gather(self, value, root, nbytes)))
+            lambda: detailed.gather(self, value, root, nbytes),
+            nbytes=nbytes))
 
     def allgather(self, value: Any, nbytes: Optional[int] = None,
                   category: str = "sync") -> Generator[Any, Any, list]:
@@ -549,7 +578,8 @@ class Communicator:
             category,
             lambda: self._analytic_site(value, combine, cost,
                                         kind="allgather"),
-            lambda: detailed.allgather(self, value, nbytes)))
+            lambda: detailed.allgather(self, value, nbytes),
+            nbytes=nbytes))
 
     def alltoall(self, values: list, nbytes_each: Optional[int] = None,
                  category: str = "sync") -> Generator[Any, Any, list]:
@@ -577,7 +607,8 @@ class Communicator:
             category,
             lambda: self._analytic_site(values, combine, cost,
                                         kind="alltoall"),
-            lambda: detailed.alltoall(self, values, nbytes_each)))
+            lambda: detailed.alltoall(self, values, nbytes_each),
+            nbytes=nbytes_each))
 
     def scatter(self, values: Optional[list] = None, root: int = 0,
                 nbytes: Optional[int] = None,
@@ -600,7 +631,8 @@ class Communicator:
             category,
             lambda: self._analytic_site(values if self.rank == root else None,
                                         combine, cost, kind="scatter"),
-            lambda: detailed.scatter(self, values, root, nbytes)))
+            lambda: detailed.scatter(self, values, root, nbytes),
+            nbytes=nbytes))
 
     def reduce_scatter_block(self, values: list, op: ReduceOp = SUM,
                              nbytes: Optional[int] = None,
@@ -626,7 +658,8 @@ class Communicator:
             category,
             lambda: self._analytic_site(values, combine, cost,
                                         kind="reduce_scatter_block"),
-            lambda: detailed.reduce_scatter_block(self, values, op, nbytes)))
+            lambda: detailed.reduce_scatter_block(self, values, op, nbytes),
+            nbytes=nbytes))
 
     def exscan(self, value: Any, op: ReduceOp = SUM,
                nbytes: Optional[int] = None,
@@ -649,7 +682,8 @@ class Communicator:
         return (yield from self._collective(
             category,
             lambda: self._analytic_site(value, combine, cost, kind="exscan"),
-            lambda: detailed.exscan(self, value, op, nbytes)))
+            lambda: detailed.exscan(self, value, op, nbytes),
+            nbytes=nbytes))
 
     def scan(self, value: Any, op: ReduceOp = SUM, nbytes: Optional[int] = None,
              category: str = "sync") -> Generator[Any, Any, Any]:
@@ -669,7 +703,8 @@ class Communicator:
         return (yield from self._collective(
             category,
             lambda: self._analytic_site(value, combine, cost, kind="scan"),
-            lambda: detailed.scan(self, value, op, nbytes)))
+            lambda: detailed.scan(self, value, op, nbytes),
+            nbytes=nbytes))
 
     # ------------------------------------------------------------------
     # communicator split

@@ -1,0 +1,67 @@
+"""Direct unit tests for the TraceRecorder (sim/trace.py)."""
+
+from repro.sim.trace import TraceRecorder
+
+
+class TestRecording:
+    def test_records_tuples_in_order(self):
+        tr = TraceRecorder()
+        tr.record(0.5, "io", {"ost": 1})
+        tr.record(1.5, "net", "payload")
+        assert tr.records == [(0.5, "io", {"ost": 1}), (1.5, "net", "payload")]
+        assert len(tr) == 2
+        assert tr.dropped == 0
+
+    def test_category_filtering(self):
+        tr = TraceRecorder(categories=["io"])
+        tr.record(0.0, "io", "kept")
+        tr.record(0.1, "net", "discarded")
+        tr.record(0.2, "io", "kept too")
+        assert [p for (_, _, p) in tr.records] == ["kept", "kept too"]
+        # filtered-out records are not "dropped" — they were never wanted
+        assert tr.dropped == 0
+
+    def test_unfiltered_recorder_keeps_every_category(self):
+        tr = TraceRecorder()
+        for cat in ("io", "net", "sync"):
+            tr.record(0.0, cat, None)
+        assert len(tr) == 3
+
+    def test_by_category_projects_time_and_payload(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "io", "a")
+        tr.record(2.0, "net", "b")
+        tr.record(3.0, "io", "c")
+        assert tr.by_category("io") == [(1.0, "a"), (3.0, "c")]
+        assert tr.by_category("nothing") == []
+
+
+class TestTruncation:
+    def test_max_records_truncates_and_counts_dropped(self):
+        tr = TraceRecorder(max_records=2)
+        for i in range(5):
+            tr.record(float(i), "io", i)
+        assert len(tr) == 2
+        assert [p for (_, _, p) in tr.records] == [0, 1]
+        assert tr.dropped == 3
+
+    def test_filtered_out_records_do_not_count_against_cap(self):
+        tr = TraceRecorder(categories=["io"], max_records=1)
+        tr.record(0.0, "net", "ignored")
+        tr.record(0.1, "io", "kept")
+        tr.record(0.2, "net", "ignored")
+        tr.record(0.3, "io", "over cap")
+        assert len(tr) == 1
+        assert tr.dropped == 1
+
+    def test_clear_resets_records_and_dropped(self):
+        tr = TraceRecorder(max_records=1)
+        tr.record(0.0, "io", "a")
+        tr.record(0.1, "io", "b")
+        assert tr.dropped == 1
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.dropped == 0
+        # the cap applies afresh after clear
+        tr.record(0.2, "io", "c")
+        assert [p for (_, _, p) in tr.records] == ["c"]
