@@ -1,0 +1,164 @@
+"""Hot-path speedup benchmark with a built-in determinism gate.
+
+Runs the three hot-path configs (:mod:`repro.harness.hotpath`) and
+checks two things at once:
+
+1. **Determinism** — every virtual-time metric (bandwidths, elapsed,
+   effect and message counts, verified file hash) must equal the
+   pre-optimization reference in ``benchmarks/ref_hotpath.json`` bit
+   for bit.  Any mismatch is a hard failure: an optimization that
+   changes simulated results is a bug, not a speedup.
+2. **Wall clock** — host seconds per run, compared against the
+   pre-optimization ``baseline_wall_s`` recorded in the same reference
+   (captured back-to-back with the optimized timings on one machine).
+
+Results land in ``BENCH_hotpath.json`` at the repo root.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py          # full scale
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke  # CI gate
+
+``--smoke`` shrinks every config to seconds and additionally enforces
+the CI regression gate: wall clock must stay within ``REGRESSION_FACTOR``
+of ``benchmarks/smoke_baseline.json`` (a soft 1.5x threshold, because CI
+runners are noisy and absolute speed varies by host generation; the
+determinism assertions are exact everywhere).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+from repro.harness.hotpath import CONFIGS, run_config
+
+HERE = pathlib.Path(__file__).resolve().parent
+REF = HERE / "ref_hotpath.json"
+SMOKE_BASELINE = HERE / "smoke_baseline.json"
+OUT = HERE.parent / "BENCH_hotpath.json"
+
+#: smoke wall clock may grow to this multiple of the committed baseline
+REGRESSION_FACTOR = 1.5
+
+#: timing repetitions (best-of), keyed by (config, smoke)
+REPS_FULL = {"tileio_detailed": 3, "btio_iview": 2, "flash_verified": 2}
+REPS_SMOKE = 3
+
+
+def bench_config(name: str, smoke: bool, reps: int) -> dict:
+    """Best-of-``reps`` wall clock plus the final run's perf counters."""
+    best_wall = float("inf")
+    metrics = None
+    perf = None
+    for _ in range(reps):
+        perf_out: list = []
+        t0 = time.perf_counter()
+        metrics = run_config(name, smoke=smoke, perf_out=perf_out)
+        wall = time.perf_counter() - t0
+        perf = perf_out[0]
+        best_wall = min(best_wall, wall)
+    return {"wall_s": round(best_wall, 4), "metrics": metrics,
+            "perf": {
+                "effects_dispatched": perf.effects_dispatched,
+                "heap_pushes": perf.heap_pushes,
+                "heap_bypasses": perf.heap_bypasses,
+                "exact_matches": perf.exact_matches,
+                "wildcard_matches": perf.wildcard_matches,
+                "segments_vectorized": perf.segments_vectorized,
+                "rounds_planned": perf.rounds_planned,
+            }}
+
+
+def check_determinism(key: str, got: dict, expected: dict) -> list[str]:
+    """Compare a run's metrics against one reference entry."""
+    errors = []
+    for field, want in expected.items():
+        if field == "baseline_wall_s":
+            continue
+        if got.get(field) != want:
+            errors.append(f"{key}: {field} = {got.get(field)!r}, "
+                          f"reference says {want!r}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small configs + CI wall-clock gate")
+    args = parser.parse_args(argv)
+
+    ref = json.loads(REF.read_text())["configs"]
+    smoke = args.smoke
+    results: dict[str, dict] = {}
+    errors: list[str] = []
+    for name in CONFIGS:
+        key = name + ("_smoke" if smoke else "")
+        reps = REPS_SMOKE if smoke else REPS_FULL[name]
+        r = bench_config(name, smoke, reps)
+        expected = ref[key]
+        errors.extend(check_determinism(key, r["metrics"], expected))
+        baseline = expected.get("baseline_wall_s")
+        entry = {
+            "wall_s": r["wall_s"],
+            "baseline_wall_s": baseline,
+            "speedup": (round(baseline / r["wall_s"], 3)
+                        if baseline else None),
+            "sim_write_bandwidth": r["metrics"]["write_bandwidth"],
+            "events": r["metrics"]["events"],
+            "messages": r["metrics"]["messages"],
+            "file_sha256": r["metrics"]["file_sha256"],
+            "perf": r["perf"],
+        }
+        results[key] = entry
+        status = "ok" if not errors else "DETERMINISM MISMATCH"
+        print(f"{key:>24}: wall {entry['wall_s']:.3f}s  "
+              f"baseline {baseline}s  speedup {entry['speedup']}x  "
+              f"[{status}]")
+
+    gate: dict = {}
+    if smoke:
+        base = json.loads(SMOKE_BASELINE.read_text())
+        for key, entry in results.items():
+            limit = base[key] * REGRESSION_FACTOR
+            ok = entry["wall_s"] <= limit
+            gate[key] = {"wall_s": entry["wall_s"],
+                         "baseline_wall_s": base[key],
+                         "limit_s": round(limit, 4), "ok": ok}
+            if not ok:
+                errors.append(
+                    f"{key}: wall {entry['wall_s']:.3f}s exceeds "
+                    f"{REGRESSION_FACTOR}x smoke baseline "
+                    f"({base[key]}s -> limit {limit:.3f}s)")
+
+    payload = {
+        "benchmark": "hotpath",
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "determinism_ok": not any("MISMATCH" in e or "reference says" in e
+                                  for e in errors),
+        "results": results,
+    }
+    if gate:
+        payload["smoke_gate"] = gate
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUT}")
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    full_head = results.get("tileio_detailed")
+    if full_head and full_head["speedup"] is not None:
+        print(f"headline: tileio_detailed {full_head['speedup']}x "
+              "vs pre-optimization engine")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

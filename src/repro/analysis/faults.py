@@ -75,6 +75,9 @@ class FaultImpactReport:
 
     scale: str
     impacts: list[FaultImpact]
+    #: simulation-core counters summed over every probe run (None when
+    #: all results came from caches predating the perf layer)
+    perf: Optional[Any] = None
 
     def summary(self) -> str:
         headers = ["fault", "sev", "protocol", "wall MB/s", "wall loss",
@@ -101,6 +104,9 @@ class FaultImpactReport:
                     f"radius {imp.containment:.1f}x "
                     f"({imp.per_protocol['ext2ph'].affected_ranks} -> "
                     f"{imp.per_protocol['parcoll'].affected_ranks} ranks)")
+        if self.perf is not None:
+            lines.append("  sim perf (all probe runs): " + "   ".join(
+                f"{label} {value}" for label, value in self.perf.lines()))
         return "\n".join(lines)
 
 
@@ -149,4 +155,8 @@ def fault_impact(scale: str = "small",
                 retried_rpcs=int(fr.get("count", 0)),
             )
         impacts.append(imp)
-    return FaultImpactReport(scale=scale, impacts=impacts)
+    from repro.perf import merge
+
+    sampled = [getattr(r, "perf", None) for r in results]
+    perf = merge(sampled) if any(s is not None for s in sampled) else None
+    return FaultImpactReport(scale=scale, impacts=impacts, perf=perf)

@@ -10,6 +10,8 @@ Usage::
     python -m repro.cli faults classes      # available fault classes
     python -m repro.cli faults sweep straggler [--severities 0.5,0.9]
     python -m repro.cli faults report       # per-class impact comparison
+    python -m repro.cli perf profile tileio_detailed [--full] [--top 25]
+    python -m repro.cli perf list           # profileable experiments
     python -m repro.cli cache [--clear]     # inspect / clear the run cache
     python -m repro.cli list                # what is available
 
@@ -149,6 +151,32 @@ def _run_faults(args: argparse.Namespace) -> int:
     return 2  # pragma: no cover
 
 
+def _run_perf(args: argparse.Namespace) -> int:
+    from repro.harness.hotpath import CONFIGS, profile_config
+
+    if args.perf_command == "list":
+        for name, builder in sorted(CONFIGS.items()):
+            doc = (builder.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:>16}: {doc}")
+        return 0
+    if args.perf_command == "profile":
+        if args.experiment not in CONFIGS:
+            print(f"unknown experiment {args.experiment!r}; available: "
+                  f"{', '.join(sorted(CONFIGS))}", file=sys.stderr)
+            return 2
+        table, perf = profile_config(args.experiment, smoke=not args.full,
+                                     top=args.top, sort=args.sort)
+        scale = "full" if args.full else "smoke"
+        print(f"profile of {args.experiment} ({scale} scale, cProfile "
+              "overhead included):")
+        print(table)
+        print("sim perf counters:")
+        for label, value in perf.lines():
+            print(f"  {label}: {value}")
+        return 0
+    return 2  # pragma: no cover
+
+
 def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
                         help="evaluate experiment grids on N worker "
@@ -210,6 +238,25 @@ def main(argv: list[str] | None = None) -> int:
                           default="small")
     _add_parallel_flags(f_report)
     f_sub.add_parser("classes", help="list fault classes")
+
+    p_perf = sub.add_parser(
+        "perf", help="profile the simulation core on a hot-path workload")
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+    p_profile = perf_sub.add_parser(
+        "profile", help="run a named experiment under cProfile")
+    p_profile.add_argument("experiment",
+                           help="hot-path experiment name (see "
+                                "'perf list'): tileio_detailed, "
+                                "btio_iview, flash_verified")
+    p_profile.add_argument("--full", action="store_true",
+                           help="full-size config (default: smoke scale)")
+    p_profile.add_argument("--top", type=int, default=25, metavar="N",
+                           help="show the N hottest functions (default 25)")
+    p_profile.add_argument("--sort", default="cumulative",
+                           choices=("cumulative", "tottime", "calls"),
+                           help="cProfile sort order")
+    perf_sub.add_parser("list", help="list profileable experiments")
+
     p_cache = sub.add_parser("cache",
                              help="inspect or clear the persistent run cache")
     p_cache.add_argument("--clear", action="store_true",
@@ -231,6 +278,8 @@ def main(argv: list[str] | None = None) -> int:
         return status
     if args.command == "faults":
         return _run_faults(args)
+    if args.command == "perf":
+        return _run_perf(args)
     if args.command == "calibrate":
         from repro.analysis import calibrate
 

@@ -90,6 +90,10 @@ class NetworkModel:
         #: messages that actually crossed the interconnect (not memcpy)
         self.cross_node_messages = 0
         self.cross_node_bytes = 0
+        # hot-path caches: plain-python rank->node table (numpy scalar
+        # extraction is ~10x a list index) and the flat-latency flag
+        self._node_of = [int(n) for n in machine.node_of]
+        self._flat_wire = topology is None or p.hop_latency <= 0
 
     def wire_latency(self, src_node: int, dst_node: int) -> float:
         lat = self.params.latency
@@ -110,19 +114,50 @@ class NetworkModel:
         """
         self.messages_sent += 1
         self.bytes_sent += nbytes
-        src_node = self.machine.node_of_rank(src_rank)
-        dst_node = self.machine.node_of_rank(dst_rank)
+        node_of = self._node_of
+        src_node = node_of[src_rank]
+        dst_node = node_of[dst_rank]
         now = self.engine.now
         p = self.params
         if src_node == dst_node:
-            done = now + p.send_overhead + p.memcpy_time(nbytes)
+            done = now + p.send_overhead + nbytes / p.memcpy_bandwidth
             return done, done
         self.cross_node_messages += 1
         self.cross_node_bytes += nbytes
         tx = self.tx[src_node]
+        rx = self.rx[dst_node]
+        if tx.profile is None and rx.profile is None:
+            # inlined FIFOResource.reserve_span (nominal-speed path);
+            # the arithmetic matches it bit for bit, including reporting
+            # the span start as done - stime
+            busy = tx.busy_until
+            start = now if now > busy else busy
+            stime = tx.overhead + nbytes / tx.rate
+            tx_done = start + stime
+            tx.busy_time += stime
+            tx.busy_until = tx_done
+            tx.total_bytes += nbytes
+            tx.total_requests += 1
+            tx_start = tx_done - stime
+            if self._flat_wire:
+                first_byte = tx_start + p.latency
+            else:
+                first_byte = tx_start + self.wire_latency(src_node, dst_node)
+            busy = rx.busy_until
+            start = first_byte if first_byte > busy else busy
+            stime = rx.overhead + nbytes / rx.rate
+            arrival = start + stime
+            rx.busy_time += stime
+            rx.busy_until = arrival
+            rx.total_bytes += nbytes
+            rx.total_requests += 1
+            return tx_done, arrival
         tx_start, tx_done = tx.reserve_span(now, nbytes)
-        first_byte = tx_start + self.wire_latency(src_node, dst_node)
-        arrival = self.rx[dst_node].reserve_at(first_byte, nbytes)
+        if self._flat_wire:
+            first_byte = tx_start + p.latency
+        else:
+            first_byte = tx_start + self.wire_latency(src_node, dst_node)
+        arrival = rx.reserve_span(first_byte, nbytes)[1]
         return tx_done, arrival
 
     def point_to_point_time(self, nbytes: int) -> float:

@@ -1,0 +1,140 @@
+"""Hot-path benchmark configurations and the determinism contract.
+
+Three workloads exercise the optimized simulation core end to end:
+
+* ``tileio_detailed`` — fig-7-style tile-IO collective write with
+  detailed collectives at 256 ranks (the wall-clock headline number);
+* ``btio_iview`` — BT-IO under ParColl with intermediate file views;
+* ``flash_verified`` — Flash checkpoint with real bytes stored, so the
+  run can be checked down to a file-content hash.
+
+Each entry builds the platform *manually* (not through
+``run_experiment``) so the Lustre file system handle stays reachable —
+verified-mode configs hash the actual file bytes, which is the strongest
+bit-identical-results check we have.  ``benchmarks/ref_hotpath.json``
+records the metrics of every config as produced by the unoptimized
+pre-optimization engine; :func:`run_config` must keep matching it
+exactly.
+
+The ``smoke`` variants shrink the rank counts so CI can run the same
+code paths in seconds; the full variants are what ``BENCH_hotpath.json``
+records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from functools import partial
+from typing import Any, Optional
+
+from repro.harness.runner import ExperimentConfig
+from repro.perf import PerfStats, collect
+from repro.workloads import (BTIOConfig, FlashIOConfig, TileIOConfig,
+                             btio_program, flash_io_program, tile_io_program)
+
+
+def _tileio_detailed(smoke: bool) -> tuple[ExperimentConfig, Any, Any]:
+    """Fig-7-style tile-IO collective write, detailed collectives."""
+    nprocs = 32 if smoke else 256
+    cfg = ExperimentConfig(nprocs=nprocs, collective_mode="detailed",
+                           lustre={"n_osts": 16, "default_stripe_count": 16})
+    wl = TileIOConfig(tile_rows=256, tile_cols=192, element_size=64,
+                      hints={"protocol": "ext2ph"})
+    return cfg, wl, partial(tile_io_program, wl)
+
+
+def _btio_iview(smoke: bool) -> tuple[ExperimentConfig, Any, Any]:
+    """BT-IO under ParColl with intermediate file views (pattern c)."""
+    nprocs = 16 if smoke else 64
+    ngroups = 2 if smoke else 4
+    cfg = ExperimentConfig(nprocs=nprocs, collective_mode="analytic",
+                           lustre={"n_osts": 16, "default_stripe_count": 16})
+    wl = BTIOConfig(grid_points=144, nsteps=3, compute_seconds=0.05,
+                    compute_jitter=0.03,
+                    hints={"protocol": "parcoll",
+                           "parcoll_ngroups": ngroups})
+    return cfg, wl, partial(btio_program, wl)
+
+
+def _flash_verified(smoke: bool) -> tuple[ExperimentConfig, Any, Any]:
+    """Flash checkpoint in verified mode: real bytes move end to end."""
+    nprocs = 8 if smoke else 16
+    cfg = ExperimentConfig(nprocs=nprocs, collective_mode="analytic",
+                           lustre={"store_data": True, "n_osts": 8,
+                                   "default_stripe_count": 8})
+    wl = FlashIOConfig(nxb=8, nyb=8, nzb=8, blocks_per_proc=4, nvars=6,
+                       hints={"protocol": "ext2ph"})
+    return cfg, wl, partial(flash_io_program, wl)
+
+
+CONFIGS = {
+    "tileio_detailed": _tileio_detailed,
+    "btio_iview": _btio_iview,
+    "flash_verified": _flash_verified,
+}
+
+
+def run_config(name: str, smoke: bool = False,
+               perf_out: Optional[list] = None) -> dict:
+    """Run one named config; returns exact virtual-time metrics.
+
+    ``file_sha256`` hashes the concatenated contents of every verified
+    file (sorted by name); model-mode runs report an empty string.  If
+    ``perf_out`` is given, the run's :class:`PerfStats` (including host
+    wall seconds) is appended to it.
+    """
+    cfg, _wl, program = CONFIGS[name](smoke)
+    world, fs, io = cfg.build()
+
+    def rank_main(comm):
+        stats = yield from program(comm, io)
+        return stats
+
+    t0 = time.perf_counter()
+    per_rank = world.launch(rank_main)
+    wall = time.perf_counter() - t0
+    if perf_out is not None:
+        perf_out.append(collect(world, wall_seconds=wall))
+    digest = ""
+    if fs.params.store_data:
+        h = hashlib.sha256()
+        for fname in sorted(fs._files):
+            f = fs._files[fname]
+            h.update(fname.encode())
+            h.update(f.store.snapshot().tobytes())
+        digest = h.hexdigest()
+    from repro.harness.runner import RunResult
+    from repro.simmpi.timers import summarize
+
+    res = RunResult(config=cfg, per_rank=per_rank,
+                    breakdown=summarize(world.breakdowns),
+                    events=world.engine.effects_dispatched,
+                    messages=world.network.messages_sent,
+                    elapsed_total=world.engine.now,
+                    backend=world.collective_mode)
+    return {
+        "write_bandwidth": repr(res.write_bandwidth),
+        "read_bandwidth": repr(res.read_bandwidth),
+        "elapsed_total": repr(res.elapsed_total),
+        "events": res.events,
+        "messages": res.messages,
+        "bytes_written": int(sum(s.bytes_written for s in per_rank)),
+        "file_sha256": digest,
+    }
+
+
+def profile_config(name: str, smoke: bool = False, top: int = 25,
+                   sort: str = "cumulative") -> tuple[str, PerfStats]:
+    """Run one named config under cProfile.
+
+    Returns the formatted top-``top`` hot-function table and the run's
+    :class:`PerfStats` (wall seconds here include profiler overhead).
+    """
+    from repro.perf import profile_experiment
+
+    perf_out: list = []
+    table = profile_experiment(
+        lambda: run_config(name, smoke=smoke, perf_out=perf_out),
+        top=top, sort=sort)
+    return table, perf_out[0]

@@ -54,6 +54,10 @@ def run_report(result: Any, title: str | None = None) -> str:
                  f" MB/s   elapsed: {result.elapsed_total:.4g} s")
     lines.append(f"  events: {result.events:,}   "
                  f"messages: {result.messages:,}")
+    perf = getattr(result, "perf", None)
+    if perf is not None:
+        lines.append("  sim perf: " + "   ".join(
+            f"{label} {value}" for label, value in perf.lines()))
     lines.append(breakdown_table(result.breakdown))
     return "\n".join(lines)
 

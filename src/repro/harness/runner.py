@@ -9,6 +9,7 @@ from repro.cluster import MachineConfig, NetworkParams, Torus3D
 from repro.errors import ConfigError
 from repro.lustre import LustreFS, LustreParams
 from repro.mpiio import MPIIO
+from repro.perf import PerfStats, collect
 from repro.simmpi import World
 from repro.simmpi.timers import summarize
 from repro.workloads.base import WorkloadIOStats
@@ -83,6 +84,9 @@ class RunResult:
     elapsed_total: float
     #: canonical spec of the collective backend the run used
     backend: str = ""
+    #: simulation-core counters sampled from the run (None on results
+    #: unpickled from caches written before the perf layer existed)
+    perf: Optional["PerfStats"] = None
 
     def _phase(self, attr: str) -> tuple[int, float]:
         total_bytes = 0
@@ -138,6 +142,8 @@ Program = Callable[[Any, Any], Generator[Any, Any, WorkloadIOStats]]
 
 def run_experiment(config: ExperimentConfig, program: Program) -> RunResult:
     """Run ``program(comm, io)`` on every rank of a fresh platform."""
+    import time
+
     world, fs, io = config.build()
 
     def rank_main(comm):
@@ -148,7 +154,9 @@ def run_experiment(config: ExperimentConfig, program: Program) -> RunResult:
             )
         return stats
 
+    t0 = time.perf_counter()
     per_rank = world.launch(rank_main)
+    wall = time.perf_counter() - t0
     return RunResult(
         config=config,
         per_rank=per_rank,
@@ -157,4 +165,5 @@ def run_experiment(config: ExperimentConfig, program: Program) -> RunResult:
         messages=world.network.messages_sent,
         elapsed_total=world.engine.now,
         backend=world.collective_mode,
+        perf=collect(world, wall_seconds=wall),
     )

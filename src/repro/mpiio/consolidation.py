@@ -38,11 +38,22 @@ def node_groups(comm, machine) -> tuple[int, list[int]]:
     The leader is the lowest communicator rank on the physical node —
     which is also what the default aggregator selection picks, so
     aggregators are usually leaders and pay no extra hop.
+
+    The result depends only on the (communicator, machine) pair, both
+    fixed for a world's lifetime, so it is computed once per node per
+    communicator and cached on the shared descriptor instead of being
+    rebuilt inside every collective call.
     """
+    cache = comm.desc.node_cache
     my_node = machine.node_of_rank(comm.desc.members[comm.rank])
+    cached = cache.get(my_node)
+    if cached is not None:
+        return cached
     members = [r for r in range(comm.size)
                if machine.node_of_rank(comm.desc.members[r]) == my_node]
-    return members[0], members
+    out = (members[0], members)
+    cache[my_node] = out
+    return out
 
 
 def consolidated_write_round(env, aggs: list[int], my_idx: int, rnd: int,

@@ -34,6 +34,7 @@ from repro.errors import MPIIOError
 from repro.lustre.fs import LustreFS, LustreFile
 from repro.mpiio.aggregation import default_aggregators, partition_file_domains
 from repro.mpiio.hints import IOHints
+from repro.perf import perf_counters
 from repro.sim.effects import Join, Sleep, Spawn
 from repro.simmpi.payload import Payload
 from repro.simmpi.reduce_ops import MAX
@@ -46,6 +47,21 @@ REPLY_TAG = TP_TAG + 10_000_000
 
 #: modeled wire bytes per (offset, length) pair in a request list
 SEG_HEADER_BYTES = 16
+
+#: vectorized-copy heuristic: fancy-index gather/scatter pays off only in
+#: the many-small-segments regime; larger segments keep the slice loop
+#: (memcpy beats building an index array one entry per byte)
+_VEC_MIN_SEGS = 8
+_VEC_MAX_AVG_BYTES = 512
+
+
+def _gather_index(starts: np.ndarray, lens: np.ndarray,
+                  total: int) -> np.ndarray:
+    """Flat source indices for densely packing segments ``[starts, +lens)``."""
+    out_first = np.zeros(lens.size, dtype=np.int64)
+    np.cumsum(lens[:-1], out=out_first[1:])
+    reps = np.repeat(starts - out_first, lens)
+    return np.arange(total, dtype=np.int64) + reps
 
 
 @dataclass
@@ -101,6 +117,17 @@ def extract_data(segs: Segments, prefix: np.ndarray, data: np.ndarray,
     if sub_offs.size == 0:
         return np.empty(0, dtype=np.uint8)
     starts = data_positions(segs[0], prefix, sub_offs)
+    n = sub_offs.size
+    total = int(sub_lens.sum())
+    if n >= _VEC_MIN_SEGS and total < n * _VEC_MAX_AVG_BYTES:
+        perf_counters.segments_vectorized += n
+        return data[_gather_index(starts, sub_lens, total)]
+    return _extract_data_reference(starts, sub_lens, data)
+
+
+def _extract_data_reference(starts: np.ndarray, sub_lens: np.ndarray,
+                            data: np.ndarray) -> np.ndarray:
+    """Slice-loop copy (retained reference; also the few/large-segments path)."""
     pieces = [data[s:s + l] for s, l in zip(starts.tolist(), sub_lens.tolist())]
     return np.concatenate(pieces)
 
@@ -112,6 +139,18 @@ def place_data(segs: Segments, prefix: np.ndarray, out: np.ndarray,
     if sub_offs.size == 0:
         return
     starts = data_positions(segs[0], prefix, sub_offs)
+    n = sub_offs.size
+    total = int(sub_lens.sum())
+    if n >= _VEC_MIN_SEGS and total < n * _VEC_MAX_AVG_BYTES:
+        perf_counters.segments_vectorized += n
+        out[_gather_index(starts, sub_lens, total)] = incoming[:total]
+        return
+    _place_data_reference(starts, sub_lens, out, incoming)
+
+
+def _place_data_reference(starts: np.ndarray, sub_lens: np.ndarray,
+                          out: np.ndarray, incoming: np.ndarray) -> None:
+    """Slice-loop scatter (retained reference; few/large-segments path)."""
     pos = 0
     for s, l in zip(starts.tolist(), sub_lens.tolist()):
         out[s:s + l] = incoming[pos:pos + l]
@@ -157,6 +196,10 @@ def _send_lists_for_round(segs: Segments, aggs: list[int],
                           rnd: int, cb: int) -> dict[int, Segments]:
     """My non-empty intersections with each aggregator's round window.
 
+    Retained as the per-round reference implementation: the hot paths use
+    :func:`plan_rounds` (one vectorized pass over all rounds), and the
+    property tests assert the two agree on random fragmented patterns.
+
     Only the domains overlapping my overall extent are inspected — with
     hundreds of aggregators a rank typically touches one or two, and
     scanning all of them per round would cost O(P^2) across ranks.
@@ -175,6 +218,69 @@ def _send_lists_for_round(segs: Segments, aggs: list[int],
         sub = intersect_range(segs, w_lo, w_hi)
         if sub[0].size:
             out[a] = sub
+    return out
+
+
+def plan_rounds(segs: Segments, aggs: list[int], starts: np.ndarray,
+                ends: np.ndarray, cb: int
+                ) -> list[tuple[int, np.ndarray, np.ndarray, np.ndarray]]:
+    """Precompute every round's window intersections in one pass.
+
+    For each overlapping aggregator domain the segments are clipped once
+    and split at collective-buffer window boundaries; each resulting
+    piece is labeled with its round index.  Segments are sorted and
+    non-overlapping, so piece round labels are non-decreasing and one
+    round's send list is a ``searchsorted`` slice — the per-round
+    ``intersect_range`` scans disappear entirely.
+
+    Returns ``[(agg_index, piece_offs, piece_lens, piece_rounds), ...]``;
+    feed to :func:`_send_lists_from_plan`.
+    """
+    offs, lens = segs
+    if offs.size == 0:
+        return []
+    my_lo = int(offs[0])
+    my_hi = int(offs[-1] + lens[-1])
+    a_first = int(np.searchsorted(ends, my_lo, side="right"))
+    a_last = min(int(np.searchsorted(starts, my_hi, side="left")), len(aggs))
+    plan = []
+    planned = 0
+    for a in range(a_first, a_last):
+        base = int(starts[a])
+        d_offs, d_lens = intersect_range(segs, base, int(ends[a]))
+        if d_offs.size == 0:
+            continue
+        d_ends = d_offs + d_lens
+        w_first = (d_offs - base) // cb
+        w_last = (d_ends - 1 - base) // cb
+        npieces = w_last - w_first + 1
+        total = int(npieces.sum())
+        if total == d_offs.size:
+            # no segment straddles a window boundary
+            p_offs, p_lens, p_w = d_offs, d_lens, w_first
+        else:
+            seg_idx = np.repeat(np.arange(d_offs.size), npieces)
+            first = np.zeros(d_offs.size, dtype=np.int64)
+            np.cumsum(npieces[:-1], out=first[1:])
+            k = np.arange(total, dtype=np.int64) - first[seg_idx]
+            p_w = w_first[seg_idx] + k
+            win_lo = base + p_w * cb
+            p_offs = np.maximum(d_offs[seg_idx], win_lo)
+            p_lens = np.minimum(d_ends[seg_idx], win_lo + cb) - p_offs
+        plan.append((a, p_offs, p_lens, p_w))
+        planned += total
+    perf_counters.rounds_planned += planned
+    return plan
+
+
+def _send_lists_from_plan(plan, rnd: int) -> dict[int, Segments]:
+    """One round's send lists out of a :func:`plan_rounds` result."""
+    out: dict[int, Segments] = {}
+    for a, p_offs, p_lens, p_w in plan:
+        i0 = int(np.searchsorted(p_w, rnd, side="left"))
+        i1 = int(np.searchsorted(p_w, rnd + 1, side="left"))
+        if i1 > i0:
+            out[a] = (p_offs[i0:i1], p_lens[i0:i1])
     return out
 
 
@@ -221,8 +327,9 @@ def collective_write(env: IOEnv, segs: Segments,
         from repro.mpiio.consolidation import node_groups
 
         node_info = node_groups(comm, env.machine)
+    plan = plan_rounds(segs, aggs, starts, ends, cb)
     for rnd in range(ntimes):
-        send_lists = _send_lists_for_round(segs, aggs, starts, ends, rnd, cb)
+        send_lists = _send_lists_from_plan(plan, rnd)
         if node_info is not None:
             from repro.mpiio.consolidation import consolidated_write_round
 
@@ -284,17 +391,21 @@ def merge_pieces(pieces: list[tuple[Segments, Optional[np.ndarray]]],
     sorted_lens = all_lens[order]
     merged_data = None
     if verified:
-        chunks = []
-        bounds = np.cumsum([0] + [p[0][0].size for p in pieces])
-        datas = [p[1] for p in pieces]
-        piece_prefix = [_prefix_of(p[0][1]) for p in pieces]
-        for k in order.tolist():
-            pi = int(np.searchsorted(bounds, k, side="right") - 1)
-            j = k - int(bounds[pi])
-            start = int(piece_prefix[pi][j])
-            chunks.append(datas[pi][start:start + int(pieces[pi][0][1][j])])
-        merged_data = (np.concatenate(chunks) if chunks
-                       else np.empty(0, np.uint8))
+        # each piece's data is its segments densely packed in order, so
+        # the concatenation of all piece datas holds segment k's bytes at
+        # the exclusive prefix sum of all_lens — the reorder is a single
+        # gather on the sorted segment permutation
+        cat = np.concatenate([p[1] for p in pieces])
+        src_start = _prefix_of(all_lens)[order]
+        total = int(sorted_lens.sum())
+        n = sorted_lens.size
+        if n >= _VEC_MIN_SEGS and total < n * _VEC_MAX_AVG_BYTES:
+            perf_counters.segments_vectorized += n
+            merged_data = (cat[_gather_index(src_start, sorted_lens, total)]
+                           if total else np.empty(0, np.uint8))
+        else:
+            merged_data = _merge_reorder_reference(cat, src_start,
+                                                   sorted_lens)
     w_offs, w_lens = coalesce(sorted_offs, sorted_lens)
     if int(w_lens.sum()) != int(sorted_lens.sum()):
         raise MPIIOError(
@@ -302,6 +413,14 @@ def merge_pieces(pieces: list[tuple[Segments, Optional[np.ndarray]]],
             "collective writes must target disjoint file regions"
         )
     return (w_offs, w_lens), merged_data
+
+
+def _merge_reorder_reference(cat: np.ndarray, src_start: np.ndarray,
+                             sorted_lens: np.ndarray) -> np.ndarray:
+    """Chunk-loop reorder (retained reference; few/large-segments path)."""
+    chunks = [cat[s:s + l]
+              for s, l in zip(src_start.tolist(), sorted_lens.tolist())]
+    return np.concatenate(chunks) if chunks else np.empty(0, np.uint8)
 
 
 def _aggregate_and_write(env: IOEnv, all_counts: np.ndarray,
@@ -368,8 +487,9 @@ def collective_read(env: IOEnv, segs: Segments,
     out = np.empty(total, dtype=np.uint8) if verified else None
 
     memcpy_bw = comm.world.network.params.memcpy_bandwidth
+    plan = plan_rounds(segs, aggs, starts, ends, cb)
     for rnd in range(ntimes):
-        want_lists = _send_lists_for_round(segs, aggs, starts, ends, rnd, cb)
+        want_lists = _send_lists_from_plan(plan, rnd)
         counts = _counts_vector(want_lists, aggs, comm.size)
         all_counts = yield from comm.alltoall(counts, nbytes_each=8,
                                               category="sync")

@@ -4,26 +4,58 @@ Design notes
 ------------
 * The ready queue is a binary heap keyed by ``(time, seq)`` where ``seq``
   is a monotone counter; this makes execution order fully deterministic.
+* Same-time work bypasses the heap entirely: anything scheduled at the
+  *current* virtual time goes onto a FIFO ready deque.  Every heap entry
+  at time ``t`` was necessarily pushed while ``now < t`` (same-time
+  entries never reach the heap), so its seq precedes that of any deque
+  entry created at ``t`` — draining heap entries at ``now`` before the
+  deque reproduces exact ``(time, seq)`` order.  This matters because
+  same-time scheduling is the dominant case: every event fire, task
+  resumption, and task finish lands at the current time.
+* Scheduler entries are plain tuples ``(kind, a, b)`` dispatched in the
+  run loop — no closure is allocated per scheduling operation.
+  ``call_at`` with an arbitrary callable remains available for
+  higher-level code; the hot paths (task steps, event fires) use the
+  dedicated kinds.
 * Tasks are trampolined generators.  ``_step`` resumes a task and
   dispatches the effect it yields.  Effects that can complete immediately
   (spawning, waiting on an already-fired event, joining a finished task)
-  are handled in a tight loop without touching the heap, which matters:
-  large collective-I/O runs execute millions of effects.
-* When the heap drains while tasks are still blocked the engine raises
-  :class:`~repro.errors.DeadlockError` with a description of every blocked
-  task — mismatched MPI tags or an absent collective participant then
-  produce a readable diagnostic instead of a silent hang.
+  are handled in a tight loop without touching the scheduler, which
+  matters: large collective-I/O runs execute millions of effects.
+* Diagnostic strings (task blocking state, event names) are kept as
+  cheap tuples and rendered only when a diagnostic is actually printed —
+  formatting them eagerly used to cost an f-string per message.
+* When the scheduler drains while tasks are still blocked the engine
+  raises :class:`~repro.errors.DeadlockError` with a description of every
+  blocked task — mismatched MPI tags or an absent collective participant
+  then produce a readable diagnostic instead of a silent hang.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Optional
 
 from repro.errors import DeadlockError, SimulationError, TaskFailedError
 from repro.sim.effects import Join, Sleep, Spawn, WaitEvent
 
 _PENDING = object()
+
+#: scheduler entry kinds, dispatched in the run loop
+_K_FN = 0     # a()
+_K_STEP = 1   # engine._step(a, b)
+_K_THROW = 2  # engine._step(a, None, throw=b)
+_K_FIRE = 3   # a.fire(b)
+_K_CALL1 = 4  # a(b) — lets callers schedule a bound method + argument
+              # without allocating a closure per call
+
+
+def _label(name: Any) -> str:
+    """Render a lazy diagnostic name (str, or a tuple of parts)."""
+    if type(name) is tuple:
+        return ":".join(str(p) for p in name)
+    return str(name)
 
 
 class Event:
@@ -32,11 +64,15 @@ class Event:
     Multiple tasks may wait on the same event; all are resumed with the
     fired value.  Firing twice is an error (it would indicate a protocol
     bug in a higher layer, e.g. a message delivered to two receivers).
+
+    ``name`` may be any object; it is only rendered (via :func:`_label`)
+    when a diagnostic needs it, so hot paths can pass tuples instead of
+    formatting strings per event.
     """
 
     __slots__ = ("engine", "name", "_value", "_waiters")
 
-    def __init__(self, engine: "Engine", name: str = "event"):
+    def __init__(self, engine: "Engine", name: Any = "event"):
         self.engine = engine
         self.name = name
         self._value: Any = _PENDING
@@ -49,25 +85,32 @@ class Event:
     @property
     def value(self) -> Any:
         if self._value is _PENDING:
-            raise SimulationError(f"event {self.name!r} read before being fired")
+            raise SimulationError(
+                f"event {_label(self.name)!r} read before being fired")
         return self._value
 
     def fire(self, value: Any = None) -> None:
         """Fire now: resume every waiter at the current virtual time."""
-        if self.fired:
-            raise SimulationError(f"event {self.name!r} fired twice")
+        if self._value is not _PENDING:
+            raise SimulationError(f"event {_label(self.name)!r} fired twice")
         self._value = value
-        waiters, self._waiters = self._waiters, []
-        for task in waiters:
-            self.engine._resume_soon(task, value)
+        waiters = self._waiters
+        if waiters:
+            engine = self.engine
+            ready = engine._ready
+            engine.heap_bypasses += len(waiters)
+            for task in waiters:
+                ready.append((_K_STEP, task, value))
+            self._waiters = []
 
     def fire_at(self, t: float, value: Any = None) -> None:
         """Schedule this event to fire at virtual time ``t``."""
-        self.engine.call_at(t, lambda: self.fire(value))
+        self.engine._sched(t, _K_FIRE, self, value)
 
     def fire_later(self, dt: float, value: Any = None) -> None:
         """Schedule this event to fire ``dt`` seconds from now."""
-        self.engine.call_at(self.engine.now + dt, lambda: self.fire(value))
+        engine = self.engine
+        engine._sched(engine.now + dt, _K_FIRE, self, value)
 
 
 class Task:
@@ -84,15 +127,31 @@ class Task:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self._joiners: list[Task] = []
-        #: human-readable blocking state, used for deadlock diagnostics
-        self.state = "new"
+        #: blocking state for deadlock diagnostics — a string or a lazy
+        #: ``(verb, detail)`` tuple rendered by :meth:`describe`
+        self.state: Any = "new"
         self._tid: Optional[int] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Task {self.name} state={self.state}>"
+        return f"<Task {self.name} state={self.describe_state()}>"
+
+    def describe_state(self) -> str:
+        state = self.state
+        if type(state) is not tuple:
+            return str(state)
+        verb, detail = state
+        if verb == "sleeping":
+            return f"sleeping until t={detail:.9g}"
+        if verb == "waiting":
+            return f"waiting on event {_label(detail)!r}"
+        if verb == "joining":
+            return f"joining task {detail!r}"
+        if verb == "failed":
+            return f"failed: {detail!r}"
+        return f"{verb}: {detail}"  # pragma: no cover - future-proofing
 
     def describe(self) -> str:
-        return f"{self.name}: {self.state}"
+        return f"{self.name}: {self.describe_state()}"
 
 
 class Engine:
@@ -100,124 +159,164 @@ class Engine:
 
     def __init__(self):
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        #: future work: (time, seq, kind, a, b), a binary heap
+        self._heap: list[tuple[float, int, int, Any, Any]] = []
+        #: same-time work in FIFO (= seq) order
+        self._ready: deque[tuple[int, Any, Any]] = deque()
         self._seq = 0
         self._live_tasks: dict[int, Task] = {}
         self._next_task_id = 0
         #: count of effects dispatched; cheap progress/perf metric
         self.effects_dispatched = 0
+        #: scheduler entries that went through the heap
+        self.heap_pushes = 0
+        #: scheduler entries that bypassed the heap via the ready deque
+        self.heap_bypasses = 0
 
     # ------------------------------------------------------------------
     # scheduling primitives
     # ------------------------------------------------------------------
-    def call_at(self, t: float, fn: Callable[[], None]) -> None:
-        """Run ``fn`` at virtual time ``t`` (>= now)."""
+    def _sched(self, t: float, kind: int, a: Any, b: Any) -> None:
+        """Schedule a dispatch entry at virtual time ``t`` (>= now)."""
+        if t == self.now:
+            self.heap_bypasses += 1
+            self._ready.append((kind, a, b))
+            return
         if t < self.now:
             raise SimulationError(f"cannot schedule in the past: {t} < {self.now}")
         self._seq += 1
-        heapq.heappush(self._heap, (t, self._seq, fn))
+        self.heap_pushes += 1
+        heapq.heappush(self._heap, (t, self._seq, kind, a, b))
+
+    def call_at(self, t: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at virtual time ``t`` (>= now)."""
+        self._sched(t, _K_FN, fn, None)
 
     def call_later(self, dt: float, fn: Callable[[], None]) -> None:
-        self.call_at(self.now + dt, fn)
+        self._sched(self.now + dt, _K_FN, fn, None)
 
     def spawn(self, gen: Generator[Any, Any, Any], name: Optional[str] = None) -> Task:
         """Register ``gen`` as a task and schedule its first step now."""
         self._next_task_id += 1
-        task = Task(self, gen, name or f"task-{self._next_task_id}")
         tid = self._next_task_id
+        task = Task(self, gen, name or f"task-{tid}")
+        task._tid = tid
         self._live_tasks[tid] = task
         task.state = "ready"
-
-        def first_step(task=task, tid=tid):
-            self._step(task, None, tid=tid)
-
-        task._tid = tid
-        self.call_at(self.now, first_step)
+        self.heap_bypasses += 1
+        self._ready.append((_K_STEP, task, None))
         return task
 
     def _resume_soon(self, task: Task, value: Any) -> None:
-        tid = task._tid
-        self.call_at(self.now, lambda: self._step(task, value, tid=tid))
+        self.heap_bypasses += 1
+        self._ready.append((_K_STEP, task, value))
 
     # ------------------------------------------------------------------
     # trampoline
     # ------------------------------------------------------------------
-    def _step(self, task: Task, value: Any, throw: Optional[BaseException] = None,
-              tid: Optional[int] = None) -> None:
+    def _step(self, task: Task, value: Any,
+              throw: Optional[BaseException] = None) -> None:
         gen = task.gen
-        task.state = "running"
-        while True:
-            self.effects_dispatched += 1
-            try:
-                if throw is not None:
-                    exc, throw = throw, None
-                    effect = gen.throw(exc)
-                else:
-                    effect = gen.send(value)
-            except StopIteration as stop:
-                self._finish(task, result=stop.value, tid=tid)
-                return
-            except BaseException as exc:  # noqa: BLE001 - propagate via joiners
-                self._finish(task, error=exc, tid=tid)
-                return
-
-            cls = effect.__class__
-            if cls is Sleep:
-                dt = effect.dt
-                if dt < 0:
-                    throw = SimulationError(f"negative sleep: {dt}")
-                    value = None
-                    continue
-                task.state = f"sleeping until t={self.now + dt:.9g}"
-                self.call_at(self.now + dt, lambda t=task, i=tid: self._step(t, None, tid=i))
-                return
-            elif cls is WaitEvent:
-                ev = effect.event
-                if ev.fired:
-                    value = ev.value
-                    continue
-                task.state = f"waiting on event {ev.name!r}"
-                ev._waiters.append(task)
-                return
-            elif cls is Spawn:
-                child = self.spawn(effect.gen, name=effect.name)
-                value = child
-                continue
-            elif cls is Join:
-                target = effect.task
-                if target.done:
-                    if target.error is not None:
-                        throw = target.error
-                        value = None
+        send = gen.send
+        n = 0
+        try:
+            while True:
+                n += 1
+                try:
+                    if throw is not None:
+                        exc, throw = throw, None
+                        effect = gen.throw(exc)
                     else:
-                        value = target.result
+                        effect = send(value)
+                except StopIteration as stop:
+                    self._finish(task, result=stop.value)
+                    return
+                except BaseException as exc:  # noqa: BLE001 - propagate via joiners
+                    self._finish(task, error=exc)
+                    return
+
+                cls = effect.__class__
+                if cls is Event:
+                    # a bare Event yield is an implicit WaitEvent — the
+                    # dominant effect in message-heavy runs, so it skips
+                    # the wrapper allocation entirely
+                    if effect._value is not _PENDING:
+                        value = effect._value
+                        continue
+                    task.state = ("waiting", effect.name)
+                    effect._waiters.append(task)
+                    return
+                if cls is Sleep:
+                    dt = effect.dt
+                    if dt == 0.0:
+                        # same-time resumption: skip the heap
+                        task.state = "ready"
+                        self.heap_bypasses += 1
+                        self._ready.append((_K_STEP, task, None))
+                        return
+                    if dt < 0:
+                        throw = SimulationError(f"negative sleep: {dt}")
+                        value = None
+                        continue
+                    t = self.now + dt
+                    task.state = ("sleeping", t)
+                    self._seq += 1
+                    self.heap_pushes += 1
+                    heapq.heappush(self._heap, (t, self._seq, _K_STEP, task, None))
+                    return
+                elif cls is WaitEvent:
+                    ev = effect.event
+                    if ev._value is not _PENDING:
+                        value = ev._value
+                        continue
+                    task.state = ("waiting", ev.name)
+                    ev._waiters.append(task)
+                    return
+                elif cls is Spawn:
+                    child = self.spawn(effect.gen, name=effect.name)
+                    value = child
                     continue
-                task.state = f"joining task {target.name!r}"
-                target._joiners.append(task)
-                return
-            else:
-                throw = SimulationError(
-                    f"task {task.name!r} yielded a non-effect: {effect!r} "
-                    "(blocking helpers must be invoked with 'yield from')"
-                )
-                value = None
+                elif cls is Join:
+                    target = effect.task
+                    if target.done:
+                        if target.error is not None:
+                            throw = target.error
+                            value = None
+                        else:
+                            value = target.result
+                        continue
+                    task.state = ("joining", target.name)
+                    target._joiners.append(task)
+                    return
+                else:
+                    throw = SimulationError(
+                        f"task {task.name!r} yielded a non-effect: {effect!r} "
+                        "(blocking helpers must be invoked with 'yield from')"
+                    )
+                    value = None
+        finally:
+            self.effects_dispatched += n
 
     def _finish(self, task: Task, result: Any = None,
-                error: Optional[BaseException] = None, tid: Optional[int] = None) -> None:
+                error: Optional[BaseException] = None) -> None:
         task.done = True
         task.result = result
         task.error = error
-        task.state = "done" if error is None else f"failed: {error!r}"
-        if tid is not None:
-            self._live_tasks.pop(tid, None)
-        joiners, task._joiners = task._joiners, []
-        for joiner in joiners:
+        task.state = "done" if error is None else ("failed", error)
+        if task._tid is not None:
+            self._live_tasks.pop(task._tid, None)
+        joiners = task._joiners
+        if joiners:
+            task._joiners = []
+            ready = self._ready
+            self.heap_bypasses += len(joiners)
             if error is not None:
-                jt = joiner._tid
-                self.call_at(self.now, lambda j=joiner, e=error, i=jt: self._step(j, None, throw=e, tid=i))
+                for joiner in joiners:
+                    ready.append((_K_THROW, joiner, error))
             else:
-                self._resume_soon(joiner, result)
-        if error is not None and not joiners:
+                for joiner in joiners:
+                    ready.append((_K_STEP, joiner, result))
+        elif error is not None:
             # No joiner will observe the failure: fail the whole run.
             raise TaskFailedError(task.name, error) from error
 
@@ -225,22 +324,58 @@ class Engine:
     # main loop
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap drains (or past ``until``); returns final time.
+        """Run until the scheduler drains (or past ``until``); returns
+        final time.
 
-        Raises :class:`DeadlockError` if the heap drains while spawned
-        tasks are still blocked.
+        Raises :class:`DeadlockError` if the scheduler drains while
+        spawned tasks are still blocked.
         """
         heap = self._heap
-        while heap:
-            t, _, fn = heapq.heappop(heap)
-            if until is not None and t > until:
-                # put it back; caller may continue later
-                heapq.heappush(heap, (t, _, fn))
-                self.now = until
-                return self.now
-            self.now = t
-            fn()
-        blocked = [task.describe() for task in self._live_tasks.values() if not task.done]
+        ready = self._ready
+        pop = heapq.heappop
+        popleft = ready.popleft
+        step = self._step
+        now = self.now
+        while True:
+            # heap entries due at the current time precede every ready
+            # entry (they were scheduled earlier — smaller seq)
+            if ready and not (heap and heap[0][0] <= now):
+                kind, a, b = popleft()
+                # while ready drains the clock is pinned, so every new
+                # heap entry is strictly in the future: dispatch the
+                # whole deque without re-checking the heap head
+                while ready:
+                    if kind == _K_STEP:
+                        step(a, b)
+                    elif kind == _K_FIRE:
+                        a.fire(b)
+                    elif kind == _K_CALL1:
+                        a(b)
+                    elif kind == _K_FN:
+                        a()
+                    else:  # _K_THROW
+                        step(a, None, throw=b)
+                    kind, a, b = popleft()
+            elif heap:
+                if until is not None and heap[0][0] > until and not ready:
+                    self.now = until
+                    return until
+                t, _seq, kind, a, b = pop(heap)
+                self.now = now = t
+            else:
+                break
+            if kind == _K_STEP:
+                step(a, b)
+            elif kind == _K_FIRE:
+                a.fire(b)
+            elif kind == _K_CALL1:
+                a(b)
+            elif kind == _K_FN:
+                a()
+            else:  # _K_THROW
+                step(a, None, throw=b)
+        blocked = [task.describe() for task in self._live_tasks.values()
+                   if not task.done]
         if blocked:
             raise DeadlockError(blocked)
         return self.now

@@ -164,8 +164,9 @@ class FIFOResource:
         """
         if nbytes < 0:
             raise SimulationError(f"resource {self.name!r}: negative size {nbytes}")
-        start = max(t, self.busy_until)
-        stime = self.service_time(nbytes) + extra
+        busy = self.busy_until
+        start = t if t > busy else busy
+        stime = self.overhead + nbytes / self.rate + extra
         if self.profile is None:
             done = start + stime
             span_start = done - stime

@@ -51,8 +51,8 @@ def barrier(comm: "Communicator") -> Generator[Any, Any, None]:
         dst = (r + dist) % p
         src = (r - dist) % p
         sreq = comm._coll_isend(None, dst, tagbase + k, nbytes=0)
-        yield from comm._coll_recv(src, tagbase + k)
-        yield from sreq.wait()
+        yield comm._coll_irecv(src, tagbase + k)
+        yield sreq
         dist <<= 1
         k += 1
     return None
@@ -69,7 +69,7 @@ def bcast(comm: "Communicator", obj: Any, root: int,
     while mask < p:
         if relative & mask:
             src = ((relative - mask) + root) % p
-            payload = yield from comm._coll_recv(src, tag)
+            payload = (yield comm._coll_irecv(src, tag))[0]
             break
         mask <<= 1
     mask >>= 1
@@ -80,7 +80,7 @@ def bcast(comm: "Communicator", obj: Any, root: int,
             reqs.append(comm._coll_isend(payload, dst, tag))
         mask >>= 1
     for req in reqs:
-        yield from req.wait()
+        yield req
     return payload.data if isinstance(payload, Payload) else payload
 
 
@@ -95,11 +95,11 @@ def reduce(comm: "Communicator", value: Any, op: ReduceOp, root: int,
     while mask < p:
         if relative & mask:
             parent = ((relative & ~mask) + root) % p
-            yield from comm._coll_isend(acc, parent, tag, nbytes=nbytes).wait()
+            yield comm._coll_isend(acc, parent, tag, nbytes=nbytes)
             return None
         src_rel = relative | mask
         if src_rel < p:
-            payload = yield from comm._coll_recv(((src_rel) + root) % p, tag)
+            payload = (yield comm._coll_irecv((src_rel + root) % p, tag))[0]
             acc = op(acc, payload.data)
         mask <<= 1
     return acc
@@ -117,10 +117,10 @@ def allreduce(comm: "Communicator", value: Any, op: ReduceOp,
         pof2 *= 2
     rem = p - pof2
     if r >= pof2:
-        yield from comm._coll_isend(acc, r - pof2, tagbase, nbytes=nbytes).wait()
+        yield comm._coll_isend(acc, r - pof2, tagbase, nbytes=nbytes)
         newrank = -1
     elif r < rem:
-        payload = yield from comm._coll_recv(r + pof2, tagbase)
+        payload = (yield comm._coll_irecv(r + pof2, tagbase))[0]
         acc = op(acc, payload.data)
         newrank = r
     else:
@@ -131,17 +131,17 @@ def allreduce(comm: "Communicator", value: Any, op: ReduceOp,
         while mask < pof2:
             partner = newrank ^ mask
             sreq = comm._coll_isend(acc, partner, tagbase + k, nbytes=nbytes)
-            payload = yield from comm._coll_recv(partner, tagbase + k)
-            yield from sreq.wait()
+            payload = (yield comm._coll_irecv(partner, tagbase + k))[0]
+            yield sreq
             acc = op(acc, payload.data)
             mask <<= 1
             k += 1
     # unfold: core ranks push the result back out
     if r >= pof2:
-        payload = yield from comm._coll_recv(r - pof2, tagbase + 32)
+        payload = (yield comm._coll_irecv(r - pof2, tagbase + 32))[0]
         acc = payload.data
     elif r < rem:
-        yield from comm._coll_isend(acc, r + pof2, tagbase + 32, nbytes=nbytes).wait()
+        yield comm._coll_isend(acc, r + pof2, tagbase + 32, nbytes=nbytes)
     return acc
 
 
@@ -159,11 +159,11 @@ def gather(comm: "Communicator", value: Any, root: int,
             nb = None
             if nbytes is not None:
                 nb = nbytes * len(collected)
-            yield from comm._coll_isend(collected, parent, tag, nbytes=nb).wait()
+            yield comm._coll_isend(collected, parent, tag, nbytes=nb)
             return None
         src_rel = relative | mask
         if src_rel < p:
-            payload = yield from comm._coll_recv((src_rel + root) % p, tag)
+            payload = (yield comm._coll_irecv((src_rel + root) % p, tag))[0]
             collected.update(payload.data)
         mask <<= 1
     return [collected[r] for r in range(p)]
@@ -178,12 +178,16 @@ def allgather(comm: "Communicator", value: Any,
     result[r] = value
     right = (r + 1) % p
     left = (r - 1) % p
+    # forward the received Payload object itself: its size was fixed by
+    # the originating rank, so re-wrapping (and re-sizing) each hop is
+    # pure overhead
+    block = value if isinstance(value, Payload) else Payload.of(value, nbytes)
     for i in range(p - 1):
-        send_idx = (r - i) % p
         recv_idx = (r - i - 1) % p
-        sreq = comm._coll_isend(result[send_idx], right, tag + 0, nbytes=nbytes)
-        payload = yield from comm._coll_recv(left, tag + 0)
-        yield from sreq.wait()
+        sreq = comm._coll_isend(block, right, tag)
+        payload = (yield comm._coll_irecv(left, tag))[0]
+        yield sreq
+        block = payload
         result[recv_idx] = payload.data
     return result
 
@@ -193,14 +197,29 @@ def alltoall(comm: "Communicator", values: list,
     """Pairwise exchange: round i pairs rank with rank±i."""
     p, r = comm.size, comm.rank
     tag = comm._op_seq * 64 + 5
+    # index plain ints, not numpy scalars; np.asarray below restores dtype
+    vals = (values.tolist()
+            if isinstance(values, np.ndarray) and values.ndim == 1 else values)
     result: list[Any] = [None] * p
-    result[r] = values[r]
+    result[r] = vals[r]
+    # inlined _coll_isend/_coll_irecv: this pairwise loop is the hottest
+    # collective in detailed two-phase runs
+    world = comm.world
+    me = comm.proc.rank
+    members = comm.desc.members
+    cctx = comm._coll_ctx_val
+    send_ev = world.send_message_ev
+    recv_ev = world.post_recv_ev
     for i in range(1, p):
         dst = (r + i) % p
         src = (r - i) % p
-        sreq = comm._coll_isend(values[dst], dst, tag, nbytes=nbytes_each)
-        payload = yield from comm._coll_recv(src, tag)
-        yield from sreq.wait()
+        if nbytes_each is not None:
+            sreq = send_ev(me, members[dst], cctx, tag,
+                           Payload(nbytes_each, vals[dst]))
+        else:
+            sreq = comm._coll_isend(vals[dst], dst, tag, nbytes=nbytes_each)
+        payload = (yield recv_ev(me, cctx, members[src], tag))[0]
+        yield sreq
         result[src] = payload.data
     if isinstance(values, np.ndarray):
         # keep the result shape consistent with the analytic fast path
@@ -229,7 +248,7 @@ def scatter(comm: "Communicator", values: Optional[list], root: int,
     else:
         b = relative & (-relative)
         src = ((relative - b) + root) % p
-        payload = yield from comm._coll_recv(src, tag)
+        payload = (yield comm._coll_irecv(src, tag))[0]
         carry = payload.data
     reqs = []
     mask = b >> 1
@@ -243,7 +262,7 @@ def scatter(comm: "Communicator", values: Optional[list], root: int,
                                          nbytes=nb))
         mask >>= 1
     for req in reqs:
-        yield from req.wait()
+        yield req
     return carry[relative]
 
 
@@ -261,8 +280,8 @@ def reduce_scatter_block(comm: "Communicator", values: list, op: ReduceOp,
         dst = (r + i) % p
         src = (r - i) % p
         sreq = comm._coll_isend(values[dst], dst, tag, nbytes=nbytes)
-        payload = yield from comm._coll_recv(src, tag)
-        yield from sreq.wait()
+        payload = (yield comm._coll_irecv(src, tag))[0]
+        yield sreq
         acc = op(acc, payload.data)
     return acc
 
@@ -283,12 +302,12 @@ def exscan(comm: "Communicator", value: Any, op: ReduceOp,
         if dst < p:
             sreq = comm._coll_isend(partial, dst, tagbase + k, nbytes=nbytes)
         if src >= 0:
-            payload = yield from comm._coll_recv(src, tagbase + k)
+            payload = (yield comm._coll_irecv(src, tagbase + k))[0]
             recvd = payload.data
             result = recvd if result is None else op(recvd, result)
             partial = op(recvd, partial)
         if sreq is not None:
-            yield from sreq.wait()
+            yield sreq
         mask <<= 1
         k += 1
     return result
@@ -310,11 +329,11 @@ def scan(comm: "Communicator", value: Any, op: ReduceOp,
         if dst < p:
             sreq = comm._coll_isend(partial, dst, tagbase + k, nbytes=nbytes)
         if src >= 0:
-            payload = yield from comm._coll_recv(src, tagbase + k)
+            payload = (yield comm._coll_irecv(src, tagbase + k))[0]
             result = op(payload.data, result)
             partial = op(payload.data, partial)
         if sreq is not None:
-            yield from sreq.wait()
+            yield sreq
         mask <<= 1
         k += 1
     return result

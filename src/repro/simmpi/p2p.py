@@ -19,6 +19,7 @@ Protocols:
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Generator, Optional
 
 from repro.errors import MPIError
@@ -50,7 +51,7 @@ class Message:
     """An in-flight message (world-rank addressed)."""
 
     __slots__ = ("ctx", "src", "dst", "tag", "payload", "rendezvous",
-                 "send_event", "seq")
+                 "send_event", "seq", "arr")
 
     def __init__(self, ctx: int, src: int, dst: int, tag: int,
                  payload: Payload, rendezvous: bool,
@@ -63,6 +64,14 @@ class Message:
         self.rendezvous = rendezvous
         self.send_event = send_event
         self.seq = seq
+        self.arr = 0  # arrival stamp, set when the mailbox queues it
+
+    @property
+    def source(self) -> int:
+        """Status-compatible alias: completed receives hand the matched
+        message itself to the waiter as its status object, so the hot
+        path never allocates a separate :class:`Status`."""
+        return self.src
 
 
 class PostedRecv:
@@ -96,7 +105,7 @@ class Request:
         return self.event.fired
 
     def wait(self) -> Generator[Any, Any, Any]:
-        value = yield WaitEvent(self.event)
+        value = yield self.event
         return value
 
 
@@ -104,34 +113,138 @@ def waitall(requests: list[Request]) -> Generator[Any, Any, list[Any]]:
     """Complete all requests; returns their values in request order."""
     out = []
     for req in requests:
-        val = yield from req.wait()
-        out.append(val)
+        out.append((yield req.event))
     return out
 
 
 class Mailbox:
-    """Per-rank matching state."""
+    """Per-rank matching state, indexed for O(1) fully-specified matches.
 
-    __slots__ = ("posted", "unexpected")
+    Receives with concrete ``(ctx, src, tag)`` live in dict buckets keyed on
+    that triple; receives with ``ANY_SOURCE``/``ANY_TAG`` go on an ordered
+    wildcard side-list.  Unexpected messages always carry a concrete key, so
+    they are bucketed unconditionally and stamped with an arrival counter.
+
+    MPI ordering survives the split because both candidate heads carry
+    monotone stamps: posted recvs keep their post-time ``seq`` (post order),
+    unexpected messages get ``arr`` (arrival order).  A match arbitrates
+    between the exact-bucket head and the first matching wildcard (resp. the
+    earliest-arrived head across matching buckets) by stamp, which picks
+    exactly the element the linear scan over one ordered list would have.
+    """
+
+    __slots__ = ("posted_exact", "posted_wild", "unexpected_by_key",
+                 "_arrivals", "n_posted", "n_unexpected",
+                 "exact_matches", "wildcard_matches")
 
     def __init__(self) -> None:
-        self.posted: list[PostedRecv] = []
-        self.unexpected: list[Message] = []
+        self.posted_exact: dict[tuple[int, int, int], deque[PostedRecv]] = {}
+        self.posted_wild: list[PostedRecv] = []
+        self.unexpected_by_key: dict[tuple[int, int, int],
+                                     deque[Message]] = {}
+        self._arrivals = 0
+        self.n_posted = 0
+        self.n_unexpected = 0
+        self.exact_matches = 0
+        self.wildcard_matches = 0
+
+    def add_posted(self, pr: PostedRecv) -> None:
+        """Queue an unmatched receive (in post order)."""
+        if pr.src != ANY_SOURCE and pr.tag != ANY_TAG:
+            key = (pr.ctx, pr.src, pr.tag)
+            bucket = self.posted_exact.get(key)
+            if bucket is None:
+                bucket = self.posted_exact[key] = deque()
+            bucket.append(pr)
+        else:
+            self.posted_wild.append(pr)
+        self.n_posted += 1
+
+    def add_unexpected(self, msg: Message) -> None:
+        """Queue a message that arrived before its receive (arrival order)."""
+        self._arrivals += 1
+        msg.arr = self._arrivals
+        key = (msg.ctx, msg.src, msg.tag)
+        bucket = self.unexpected_by_key.get(key)
+        if bucket is None:
+            bucket = self.unexpected_by_key[key] = deque()
+        bucket.append(msg)
+        self.n_unexpected += 1
 
     def match_posted(self, msg: Message) -> Optional[PostedRecv]:
-        """Find (and remove) the first posted recv matching ``msg``."""
-        for i, pr in enumerate(self.posted):
-            if pr.matches(msg):
-                return self.posted.pop(i)
-        return None
+        """Find (and remove) the first-posted recv matching ``msg``."""
+        key = (msg.ctx, msg.src, msg.tag)
+        bucket = self.posted_exact.get(key)
+        exact = bucket[0] if bucket else None
+        wild_i = -1
+        wild_list = self.posted_wild
+        if wild_list:
+            for i, pr in enumerate(wild_list):
+                if pr.matches(msg):
+                    wild_i = i
+                    break
+        if wild_i < 0:
+            if exact is None:
+                return None
+            bucket.popleft()
+            if not bucket:
+                del self.posted_exact[key]
+            self.n_posted -= 1
+            self.exact_matches += 1
+            return exact
+        wild = self.posted_wild[wild_i]
+        if exact is not None and exact.seq < wild.seq:
+            bucket.popleft()
+            if not bucket:
+                del self.posted_exact[key]
+            self.n_posted -= 1
+            self.exact_matches += 1
+            return exact
+        del self.posted_wild[wild_i]
+        self.n_posted -= 1
+        self.wildcard_matches += 1
+        return wild
 
     def match_unexpected(self, pr: PostedRecv) -> Optional[Message]:
-        """Find (and remove) the earliest unexpected message matching ``pr``."""
-        for i, msg in enumerate(self.unexpected):
-            if pr.matches(msg):
-                return self.unexpected.pop(i)
-        return None
+        """Find (and remove) the earliest-arrived message matching ``pr``."""
+        return self.match_unexpected_key(pr.ctx, pr.src, pr.tag)
+
+    def match_unexpected_key(self, p_ctx: int, p_src: int,
+                             p_tag: int) -> Optional[Message]:
+        """Keyed variant of :meth:`match_unexpected` — the receive-post hot
+        path matches before it ever builds a :class:`PostedRecv`."""
+        if p_src != ANY_SOURCE and p_tag != ANY_TAG:
+            key = (p_ctx, p_src, p_tag)
+            bucket = self.unexpected_by_key.get(key)
+            if not bucket:
+                return None
+            msg = bucket.popleft()
+            if not bucket:
+                del self.unexpected_by_key[key]
+            self.n_unexpected -= 1
+            self.exact_matches += 1
+            return msg
+        best_key = None
+        best = None
+        for key, bucket in self.unexpected_by_key.items():
+            ctx, src, tag = key
+            if (ctx == p_ctx
+                    and p_src in (ANY_SOURCE, src)
+                    and p_tag in (ANY_TAG, tag)):
+                head = bucket[0]
+                if best is None or head.arr < best.arr:
+                    best_key = key
+                    best = head
+        if best is None:
+            return None
+        bucket = self.unexpected_by_key[best_key]
+        bucket.popleft()
+        if not bucket:
+            del self.unexpected_by_key[best_key]
+        self.n_unexpected -= 1
+        self.wildcard_matches += 1
+        return best
 
     def describe(self) -> str:
-        return (f"{len(self.posted)} posted recv(s), "
-                f"{len(self.unexpected)} unexpected message(s)")
+        return (f"{self.n_posted} posted recv(s), "
+                f"{self.n_unexpected} unexpected message(s)")

@@ -36,7 +36,12 @@ def sizeof(obj: Any) -> int:
     if isinstance(obj, str):
         return len(obj.encode("utf-8"))
     if isinstance(obj, (list, tuple, set, frozenset)):
-        return 8 + sum(sizeof(x) for x in obj)
+        # flat collections of small ints (counts, offsets) are the common
+        # case on collective-I/O control paths: skip the recursive call
+        total = 8
+        for x in obj:
+            total += 8 if type(x) is int else sizeof(x)
+        return total
     if isinstance(obj, dict):
         return 8 + sum(sizeof(k) + sizeof(v) for k, v in obj.items())
     # dataclass-ish fallback: size of the visible attributes
@@ -51,9 +56,11 @@ class Payload:
     __slots__ = ("nbytes", "data")
 
     def __init__(self, nbytes: int, data: Any = None):
+        if type(nbytes) is not int:
+            nbytes = int(nbytes)
         if nbytes < 0:
             raise MPIError(f"payload size must be >= 0, got {nbytes}")
-        self.nbytes = int(nbytes)
+        self.nbytes = nbytes
         self.data = data
 
     @classmethod

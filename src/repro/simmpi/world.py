@@ -9,6 +9,7 @@ completion.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Generator, Optional
 
 import numpy as np
@@ -18,7 +19,7 @@ from repro.cluster.network import NetworkModel, NetworkParams
 from repro.cluster.topology import Torus3D
 from repro.errors import MPIError, ParCollError, TaskFailedError
 from repro.sim.effects import Sleep, WaitEvent
-from repro.sim.engine import Engine, Event
+from repro.sim.engine import _K_CALL1, _K_FIRE, Engine, Event
 from repro.simmpi import analytic, collectives_detailed as detailed
 from repro.simmpi.backends import CollectiveBackend, resolve_backend
 from repro.simmpi.p2p import (ANY_SOURCE, ANY_TAG, Mailbox, Message,
@@ -56,7 +57,8 @@ class Proc:
 class CommDescriptor:
     """State shared by every rank's handle on one communicator."""
 
-    __slots__ = ("ctx", "members", "rank_of", "sites", "fidelities")
+    __slots__ = ("ctx", "members", "rank_of", "sites", "fidelities",
+                 "node_cache")
 
     def __init__(self, ctx: int, members: list[int]):
         self.ctx = ctx
@@ -68,6 +70,8 @@ class CommDescriptor:
         #: per-op fidelity ledger for the backend symmetry check:
         #: op seq -> [fidelity, category, first group rank, arrivals]
         self.fidelities: dict[int, list] = {}
+        #: node -> (leader, members) cache for cb_node_consolidation
+        self.node_cache: dict[int, tuple[int, list[int]]] = {}
 
 
 class _Site:
@@ -98,6 +102,8 @@ class World:
         self.engine = engine or Engine()
         self.machine = machine
         self.network = NetworkModel(self.engine, machine, net_params, topology)
+        #: hot-path cache (NetworkParams is frozen for the world's lifetime)
+        self._eager_threshold = self.network.params.eager_threshold
         #: default backend for every communicator without an override
         self.backend = resolve_backend(collective_mode)
         #: optional FaultInjector applying NodeSlowdown events here
@@ -127,64 +133,101 @@ class World:
     def send_message(self, src: int, dst: int, ctx: int, tag: int,
                      payload: Payload) -> Request:
         """Start a message; returns the sender-completion request."""
+        return Request(self.send_message_ev(src, dst, ctx, tag, payload))
+
+    def send_message_ev(self, src: int, dst: int, ctx: int, tag: int,
+                        payload: Payload) -> Event:
+        """Like :meth:`send_message` but returns the bare completion event
+        (internal hot path: skips the Request wrapper allocation)."""
         if not 0 <= dst < self.nprocs:
             raise MPIError(f"destination rank {dst} out of range")
         eng = self.engine
         self._msg_seq += 1
         seq = self._msg_seq
-        send_event = Event(eng, f"send#{seq} {src}->{dst}")
-        rendezvous = payload.nbytes > self.network.params.eager_threshold
-        if not rendezvous:
-            free, arrival = self.network.transfer(src, dst, payload.nbytes)
+        send_event = Event(eng, ("send", seq, src, dst))
+        nbytes = payload.nbytes
+        if nbytes <= self._eager_threshold:
+            free, arrival = self.network.transfer(src, dst, nbytes)
             msg = Message(ctx, src, dst, tag, payload, False, None, seq)
-            send_event.fire_at(free)
-            eng.call_at(arrival, lambda: self._deliver(msg))
+            # inlined engine._sched for the two per-message entries;
+            # transfer() never returns a time before now
+            now = eng.now
+            if free == now:
+                eng.heap_bypasses += 1
+                eng._ready.append((_K_FIRE, send_event, None))
+            else:
+                eng._seq += 1
+                eng.heap_pushes += 1
+                heappush(eng._heap, (free, eng._seq, _K_FIRE, send_event, None))
+            if arrival == now:
+                eng.heap_bypasses += 1
+                eng._ready.append((_K_CALL1, self._deliver, msg))
+            else:
+                eng._seq += 1
+                eng.heap_pushes += 1
+                heappush(eng._heap,
+                         (arrival, eng._seq, _K_CALL1, self._deliver, msg))
         else:
             _, hdr_arrival = self.network.transfer(src, dst, RTS_BYTES)
             msg = Message(ctx, src, dst, tag, payload, True, send_event, seq)
-            eng.call_at(hdr_arrival, lambda: self._deliver(msg))
-        return Request(send_event)
+            eng._sched(hdr_arrival, _K_CALL1, self._deliver, msg)
+        return send_event
 
     def post_recv(self, dst: int, ctx: int, src: int, tag: int) -> Request:
         """Post a receive on rank ``dst``; request value is (payload, status)."""
-        eng = self.engine
+        return Request(self.post_recv_ev(dst, ctx, src, tag))
+
+    def post_recv_ev(self, dst: int, ctx: int, src: int, tag: int) -> Event:
+        """Like :meth:`post_recv` but returns the bare completion event."""
         self._msg_seq += 1
-        event = Event(eng, f"recv#{self._msg_seq} at {dst} from {src} tag {tag}")
-        pr = PostedRecv(ctx, src, tag, event, self._msg_seq)
+        seq = self._msg_seq
+        event = Event(self.engine, ("recv", seq, "at", dst, "from", src,
+                                    "tag", tag))
         mbox = self.procs[dst].mailbox
-        msg = mbox.match_unexpected(pr)
-        if msg is not None:
-            self._complete_match(msg, pr)
+        msg = mbox.match_unexpected_key(ctx, src, tag)
+        if msg is None:
+            mbox.add_posted(PostedRecv(ctx, src, tag, event, seq))
+        elif not msg.rendezvous:
+            # the event is fresh (no waiters yet), so firing it is a
+            # plain value store
+            event._value = (msg.payload, msg)
         else:
-            mbox.posted.append(pr)
-        return Request(event)
+            self._rendezvous_cts(msg, event)
+        return event
 
     def _deliver(self, msg: Message) -> None:
         mbox = self.procs[msg.dst].mailbox
         pr = mbox.match_posted(msg)
         if pr is not None:
-            self._complete_match(msg, pr)
+            if not msg.rendezvous:
+                pr.event.fire((msg.payload, msg))
+            else:
+                self._rendezvous_cts(msg, pr.event)
         else:
-            mbox.unexpected.append(msg)
+            mbox.add_unexpected(msg)
 
     def _complete_match(self, msg: Message, pr: PostedRecv) -> None:
-        eng = self.engine
-        value = (msg.payload, Status(msg.src, msg.tag))
         if not msg.rendezvous:
-            pr.event.fire(value)
+            pr.event.fire((msg.payload, msg))
             return
-        # rendezvous: clear-to-send travels back, then the data moves
+        self._rendezvous_cts(msg, pr.event)
+
+    def _rendezvous_cts(self, msg: Message, event: Event) -> None:
+        """Rendezvous match: clear-to-send travels back, then data moves."""
+        eng = self.engine
         cts_latency = self.network.wire_latency(
             self.machine.node_of_rank(msg.dst), self.machine.node_of_rank(msg.src)
         ) + self.network.params.send_overhead
+        eng._sched(eng.now + cts_latency, _K_CALL1, self._start_transfer,
+                   (msg, event))
 
-        def start_transfer() -> None:
-            free, arrival = self.network.transfer(msg.src, msg.dst,
-                                                  msg.payload.nbytes)
-            msg.send_event.fire_at(free)
-            pr.event.fire_at(arrival, value)
-
-        eng.call_at(eng.now + cts_latency, start_transfer)
+    def _start_transfer(self, args: tuple) -> None:
+        """Rendezvous data phase: runs after the clear-to-send arrives."""
+        msg, event = args
+        free, arrival = self.network.transfer(msg.src, msg.dst,
+                                              msg.payload.nbytes)
+        msg.send_event.fire_at(free)
+        event.fire_at(arrival, (msg.payload, msg))
 
     # ------------------------------------------------------------------
     # communicator derivation
@@ -238,6 +281,8 @@ class Communicator:
         self.proc = proc
         self.desc = desc
         self.world = proc.world
+        self._engine = proc.world.engine
+        self._coll_ctx_val = -(desc.ctx + 1)
         self.rank = desc.rank_of[proc.rank]
         self.size = len(desc.members)
         # one-element boxes so handles derived via with_backend share the
@@ -250,7 +295,7 @@ class Communicator:
     # -- helpers --------------------------------------------------------
     @property
     def engine(self) -> Engine:
-        return self.world.engine
+        return self._engine
 
     @property
     def _op_seq(self) -> int:
@@ -278,7 +323,7 @@ class Communicator:
 
     @property
     def now(self) -> float:
-        return self.world.engine.now
+        return self._engine.now
 
     def world_rank(self, group_rank: int) -> int:
         if not 0 <= group_rank < self.size:
@@ -312,14 +357,14 @@ class Communicator:
              category: str = "exchange") -> Generator[Any, Any, None]:
         t0 = self.now
         req = self.isend(obj, dest, tag, nbytes)
-        yield from req.wait()
+        yield req.event
         self.proc.breakdown.add(category, self.now - t0)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
              category: str = "exchange") -> Generator[Any, Any, Payload]:
         t0 = self.now
         req = self.irecv(source, tag)
-        payload, _status = yield from req.wait()
+        payload, _status = yield req.event
         self.proc.breakdown.add(category, self.now - t0)
         return payload
 
@@ -328,7 +373,7 @@ class Communicator:
                     ) -> Generator[Any, Any, tuple[Payload, Status]]:
         t0 = self.now
         req = self.irecv(source, tag)
-        payload, status = yield from req.wait()
+        payload, status = yield req.event
         self.proc.breakdown.add(category, self.now - t0)
         status = Status(self.desc.rank_of.get(status.source, status.source),
                         status.tag)
@@ -337,7 +382,7 @@ class Communicator:
     def wait(self, request: Request,
              category: str = "exchange") -> Generator[Any, Any, Any]:
         t0 = self.now
-        value = yield from request.wait()
+        value = yield request.event
         self.proc.breakdown.add(category, self.now - t0)
         return value
 
@@ -351,15 +396,26 @@ class Communicator:
     # -- internal p2p on the collective context ---------------------------
     @property
     def _coll_ctx(self) -> int:
-        return -(self.desc.ctx + 1)
+        return self._coll_ctx_val
 
     def _coll_isend(self, obj: Any, dest: int, tag: int,
-                    nbytes: Optional[int] = None) -> Request:
-        return self.isend(obj, dest, tag, nbytes, _ctx=self._coll_ctx)
+                    nbytes: Optional[int] = None) -> Event:
+        """Internal send on the collective context; returns the bare
+        completion event (yield it directly to wait)."""
+        payload = obj if isinstance(obj, Payload) else Payload.of(obj, nbytes)
+        # collective peers are computed mod size — no range check needed
+        return self.world.send_message_ev(
+            self.proc.rank, self.desc.members[dest], self._coll_ctx_val, tag,
+            payload)
+
+    def _coll_irecv(self, source: int, tag: int) -> Event:
+        """Internal recv post on the collective context; the returned
+        event fires with ``(payload, status)``."""
+        return self.world.post_recv_ev(
+            self.proc.rank, self._coll_ctx_val, self.desc.members[source], tag)
 
     def _coll_recv(self, source: int, tag: int) -> Generator[Any, Any, Payload]:
-        req = self.irecv(source, tag, _ctx=self._coll_ctx)
-        payload, _ = yield from req.wait()
+        payload, _ = yield self._coll_irecv(source, tag)
         return payload
 
     # ------------------------------------------------------------------
@@ -457,13 +513,15 @@ class Communicator:
         else:
             fid = self.backend.fidelity(category, nbytes)
             self._check_fidelity_symmetry(fid, category)
-        paths = {"analytic": analytic_path, "detailed": detailed_path}
-        path = paths.get(fid)
-        if path is None:
+        if fid == "analytic":
+            path = analytic_path
+        elif fid == "detailed":
+            path = detailed_path
+        else:
             raise MPIError(
                 f"backend {self.backend.describe()!r} selected unknown "
                 f"fidelity {fid!r} for category {category!r}; "
-                f"expected one of {sorted(paths)}"
+                f"expected one of ['analytic', 'detailed']"
             )
         result = yield from path()
         self._charge(category, t0)
@@ -561,23 +619,27 @@ class Communicator:
 
     def allgather(self, value: Any, nbytes: Optional[int] = None,
                   category: str = "sync") -> Generator[Any, Any, list]:
-        params = self.world.network.params
+        # the combine/cost closures live inside the analytic thunk so the
+        # detailed path never pays for building them
+        def analytic_site():
+            params = self.world.network.params
 
-        def combine(vals: dict[int, Any]) -> list:
-            full = [vals[r] for r in range(self.size)]
-            return [full] * self.size
+            def combine(vals: dict[int, Any]) -> list:
+                full = [vals[r] for r in range(self.size)]
+                return [full] * self.size
 
-        def cost(vals: dict[int, Any]) -> float:
-            if nbytes is not None:
-                return analytic.allgather_cost(params, self.size, nbytes)
-            total = sum(sizeof(v) for v in vals.values())
-            own = sizeof(vals[0])
-            return analytic.allgatherv_cost(params, self.size, total, own)
+            def cost(vals: dict[int, Any]) -> float:
+                if nbytes is not None:
+                    return analytic.allgather_cost(params, self.size, nbytes)
+                total = sum(sizeof(v) for v in vals.values())
+                own = sizeof(vals[0])
+                return analytic.allgatherv_cost(params, self.size, total, own)
+
+            return self._analytic_site(value, combine, cost, kind="allgather")
 
         return (yield from self._collective(
             category,
-            lambda: self._analytic_site(value, combine, cost,
-                                        kind="allgather"),
+            analytic_site,
             lambda: detailed.allgather(self, value, nbytes),
             nbytes=nbytes))
 
@@ -587,26 +649,31 @@ class Communicator:
             raise MPIError(
                 f"alltoall needs {self.size} values, got {len(values)}"
             )
-        params = self.world.network.params
+        def analytic_site():
+            params = self.world.network.params
 
-        def combine(vals: dict[int, list]) -> list:
-            if all(isinstance(v, np.ndarray) for v in vals.values()):
-                # fast path for count vectors: transpose via numpy
-                mat = np.stack([vals[src] for src in range(self.size)])
-                return [mat[:, dst] for dst in range(self.size)]
-            return [[vals[src][dst] for src in range(self.size)]
-                    for dst in range(self.size)]
+            def combine(vals: dict[int, list]) -> list:
+                if all(isinstance(v, np.ndarray) for v in vals.values()):
+                    # fast path for count vectors: transpose via numpy
+                    mat = np.stack([vals[src] for src in range(self.size)])
+                    return [mat[:, dst] for dst in range(self.size)]
+                return [[vals[src][dst] for src in range(self.size)]
+                        for dst in range(self.size)]
 
-        def cost(vals: dict[int, list]) -> float:
-            if nbytes_each is not None:
-                return analytic.alltoall_cost(params, self.size, nbytes_each)
-            max_send = max(sum(sizeof(x) for x in v) for v in vals.values())
-            return analytic.alltoallv_cost(params, self.size, max_send, max_send)
+            def cost(vals: dict[int, list]) -> float:
+                if nbytes_each is not None:
+                    return analytic.alltoall_cost(params, self.size,
+                                                  nbytes_each)
+                max_send = max(sum(sizeof(x) for x in v)
+                               for v in vals.values())
+                return analytic.alltoallv_cost(params, self.size, max_send,
+                                               max_send)
+
+            return self._analytic_site(values, combine, cost, kind="alltoall")
 
         return (yield from self._collective(
             category,
-            lambda: self._analytic_site(values, combine, cost,
-                                        kind="alltoall"),
+            analytic_site,
             lambda: detailed.alltoall(self, values, nbytes_each),
             nbytes=nbytes_each))
 

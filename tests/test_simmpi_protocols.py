@@ -87,33 +87,51 @@ class TestMailbox:
     def msg(self, ctx=0, src=1, tag=5):
         return Message(ctx, src, 0, tag, Payload.model(4), False, None, 1)
 
-    def pr(self, ctx=0, src=1, tag=5):
+    def pr(self, ctx=0, src=1, tag=5, seq=1):
         from repro.sim import Engine, Event
 
-        return PostedRecv(ctx, src, tag, Event(Engine(), "e"), 1)
+        return PostedRecv(ctx, src, tag, Event(Engine(), "e"), seq)
 
     def test_match_posted_in_post_order(self):
         mb = Mailbox()
-        a, b = self.pr(tag=-1), self.pr(tag=5)  # ANY_TAG then exact
-        mb.posted.extend([a, b])
+        a, b = self.pr(tag=-1, seq=1), self.pr(tag=5, seq=2)  # ANY_TAG first
+        mb.add_posted(a)
+        mb.add_posted(b)
         matched = mb.match_posted(self.msg(tag=5))
         assert matched is a  # first posted wins
 
+    def test_match_posted_exact_before_later_wildcard(self):
+        mb = Mailbox()
+        a, b = self.pr(tag=5, seq=1), self.pr(tag=-1, seq=2)  # exact first
+        mb.add_posted(a)
+        mb.add_posted(b)
+        matched = mb.match_posted(self.msg(tag=5))
+        assert matched is a
+
     def test_context_isolation(self):
         mb = Mailbox()
-        mb.posted.append(self.pr(ctx=1))
+        mb.add_posted(self.pr(ctx=1))
         assert mb.match_posted(self.msg(ctx=0)) is None
 
     def test_unexpected_in_arrival_order(self):
         mb = Mailbox()
         m1, m2 = self.msg(tag=7), self.msg(tag=7)
-        mb.unexpected.extend([m1, m2])
+        mb.add_unexpected(m1)
+        mb.add_unexpected(m2)
         got = mb.match_unexpected(self.pr(tag=7))
+        assert got is m1
+
+    def test_unexpected_wildcard_crosses_buckets_in_arrival_order(self):
+        mb = Mailbox()
+        m1, m2 = self.msg(src=2, tag=9), self.msg(src=1, tag=7)
+        mb.add_unexpected(m1)
+        mb.add_unexpected(m2)
+        got = mb.match_unexpected(self.pr(src=-1, tag=-1))
         assert got is m1
 
     def test_describe(self):
         mb = Mailbox()
-        mb.posted.append(self.pr())
+        mb.add_posted(self.pr())
         assert "1 posted" in mb.describe()
 
 
