@@ -13,6 +13,7 @@ Usage::
     python -m repro.cli perf profile tileio_detailed [--full] [--top 25]
     python -m repro.cli perf list           # profileable experiments
     python -m repro.cli cache [--clear]     # inspect / clear the run cache
+    python -m repro.cli validate differential [--cases 200] [--seed 0]
     python -m repro.cli list                # what is available
 
 ``--jobs/-j N`` evaluates each figure's experiment grid on an N-worker
@@ -25,6 +26,11 @@ environment variables set the defaults (see
 ``--collective-mode`` selects the collective-fidelity backend
 ('analytic', 'detailed', or 'hybrid[:<cat>=<fidelity>,...]') for the
 figures whose sweeps support it; see :mod:`repro.simmpi.backends`.
+
+``--validate`` runs every experiment point under the
+:mod:`repro.validate` correctness oracle (``REPRO_VALIDATE=1`` sets the
+default); validated and unvalidated runs never share run-cache entries.
+``validate differential`` is the standalone generator-fleet gate.
 
 The same figure definitions back the pytest benchmarks; the CLI is for
 interactive exploration without the pytest machinery.
@@ -55,7 +61,8 @@ FIGURES: dict[str, Callable] = {
 _SCALED = {"1", "2", "6", "7", "8", "9", "10", "11"}
 
 
-def _make_executor(jobs: Optional[int], no_cache: bool):
+def _make_executor(jobs: Optional[int], no_cache: bool,
+                   validate: bool = False):
     """An executor honoring flags first, then the environment."""
     from repro.harness.parallel import ExperimentExecutor
 
@@ -64,6 +71,8 @@ def _make_executor(jobs: Optional[int], no_cache: bool):
         overrides["jobs"] = jobs
     if no_cache:
         overrides["cache"] = False
+    if validate:
+        overrides["validate"] = True
     return ExperimentExecutor.from_env(**overrides)
 
 
@@ -116,7 +125,7 @@ def _run_faults(args: argparse.Namespace) -> int:
             print(f"{'':>10}  severities [{sevs}], probe {fc.probe:g}, "
                   f"collectives {fc.collective_mode}")
         return 0
-    executor = _make_executor(args.jobs, args.no_cache)
+    executor = _make_executor(args.jobs, args.no_cache, validate=args.validate)
     if args.faults_command == "sweep":
         severities = None
         if args.severities:
@@ -177,6 +186,32 @@ def _run_perf(args: argparse.Namespace) -> int:
     return 2  # pragma: no cover
 
 
+def _run_validate(args: argparse.Namespace) -> int:
+    from repro.validate.differential import run_differential
+
+    def progress(done: int, total: int) -> None:
+        if done % 25 == 0 or done == total:
+            print(f"  {done}/{total} cases", file=sys.stderr)
+
+    summary = run_differential(args.cases, seed=args.seed,
+                               progress=progress)
+    if args.out:
+        summary.write_json(args.out)
+        print(f"report written to {args.out}")
+    print(f"differential: {summary.passed}/{summary.cases} cases passed, "
+          f"{summary.checks} oracle/invariant checks, seed {summary.seed}")
+    if not summary.ok:
+        for failed in summary.failures[:5]:
+            print(f"FAILED case: {failed['case']}", file=sys.stderr)
+            for item in failed["failures"]:
+                print(f"  {item}", file=sys.stderr)
+        if len(summary.failures) > 5:
+            print(f"... and {len(summary.failures) - 5} more "
+                  "(see the JSON report)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
                         help="evaluate experiment grids on N worker "
@@ -184,6 +219,9 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the persistent run cache "
                              "(benchmarks/.runcache/)")
+    parser.add_argument("--validate", action="store_true",
+                        help="run every experiment point under the "
+                             "correctness oracle (default: $REPRO_VALIDATE)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -261,16 +299,32 @@ def main(argv: list[str] | None = None) -> int:
                              help="inspect or clear the persistent run cache")
     p_cache.add_argument("--clear", action="store_true",
                          help="delete every cached run result")
+
+    p_val = sub.add_parser(
+        "validate", help="correctness-oracle harnesses")
+    v_sub = p_val.add_subparsers(dest="validate_command", required=True)
+    v_diff = v_sub.add_parser(
+        "differential",
+        help="run generated cases through every protocol/backend "
+             "combination against the golden oracle")
+    v_diff.add_argument("--cases", type=int, default=200, metavar="N",
+                        help="number of generated cases (default 200)")
+    v_diff.add_argument("--seed", type=int, default=0,
+                        help="case-generator seed (default 0)")
+    v_diff.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON report here (the CI "
+                             "oracle-diff artifact)")
+
     sub.add_parser("list", help="list available figures")
 
     args = parser.parse_args(argv)
     if args.command == "figure":
-        executor = _make_executor(args.jobs, args.no_cache)
+        executor = _make_executor(args.jobs, args.no_cache, validate=args.validate)
         return _run_figure(args.number, args.scale, chart=args.chart,
                            collective_mode=args.collective_mode,
                            executor=executor)
     if args.command == "figures":
-        executor = _make_executor(args.jobs, args.no_cache)
+        executor = _make_executor(args.jobs, args.no_cache, validate=args.validate)
         status = 0
         for number in sorted(FIGURES, key=lambda s: int(s)):
             status |= _run_figure(number, args.scale, executor=executor)
@@ -302,6 +356,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"run cache: {cache.root}")
             print(f"entries:   {len(cache)}")
         return 0
+    if args.command == "validate":
+        return _run_validate(args)
     if args.command == "list":
         for number in sorted(FIGURES, key=lambda s: int(s)):
             doc = (FIGURES[number].__doc__ or "").strip().splitlines()[0]

@@ -75,9 +75,36 @@ class FaultExhaustedError(FileSystemError):
             f"retries exhausted at t={self.virtual_time:.6g}s"
         )
 
+    def __reduce__(self):
+        # BaseException.__reduce__ replays args, which for this class is
+        # the formatted message, not (ost, attempts, virtual_time) — the
+        # default would TypeError on unpickle and take a whole worker
+        # pool down with it.
+        return (type(self), (self.ost, self.attempts, self.virtual_time))
+
 
 class MPIIOError(ReproError):
     """An MPI-IO level failure (bad view, access outside view, hints...)."""
+
+
+class ValidationError(ReproError):
+    """A correctness-oracle or runtime-invariant violation.
+
+    Raised by the :mod:`repro.validate` subsystem when a protocol broke
+    one of its contracts: the simulated file diverged from the golden
+    oracle, a File Area partition failed to tile the file, an
+    intermediate-view translation did not round-trip, an aggregator
+    distribution violated the paper's placement constraints, or a
+    two-phase exchange round lost bytes.  ``check`` names the invariant
+    that fired; ``detail`` is machine-readable context for diff
+    artifacts.
+    """
+
+    def __init__(self, check: str, message: str,
+                 detail: "dict | None" = None):
+        self.check = str(check)
+        self.detail = dict(detail or {})
+        super().__init__(f"[{self.check}] {message}")
 
 
 class ParCollError(ReproError):

@@ -41,7 +41,7 @@ import pathlib
 import pickle
 import tempfile
 import traceback
-from dataclasses import dataclass, field, fields, is_dataclass
+from dataclasses import dataclass, field, fields, is_dataclass, replace
 from functools import partial
 from typing import Any, Callable, Iterable, Optional, Sequence
 
@@ -178,13 +178,33 @@ class ExperimentTask:
         return partial(fn, self.workload_config)
 
     def cache_key(self) -> str:
-        """Content hash of (config, workload descriptor, code version)."""
+        """Content hash of (config, workload descriptor, code version).
+
+        The config's ``faults`` field is normalized through
+        :meth:`~repro.faults.FaultPlan.coerce` first, so the spellings of
+        one platform (``None``, an empty :class:`FaultPlan`, an empty
+        event mapping) share a key.  A validating config additionally
+        hashes the oracle version: bumping ``ORACLE_VERSION`` re-runs
+        every *validated* point without touching unvalidated entries,
+        and a cached unvalidated result is never returned for a
+        ``--validate`` request (``validate`` is itself part of the
+        config hash).
+        """
+        from repro.faults import FaultPlan
+
+        config = _canonical(self.config)
+        plan = FaultPlan.coerce(self.config.faults)
+        config["faults"] = None if plan.is_empty else _canonical(plan.to_dict())
         payload = {
-            "config": _canonical(self.config),
+            "config": config,
             "workload": self.workload,
             "workload_config": _canonical(self.workload_config),
             "code": code_version(),
         }
+        if self.config.validate:
+            from repro.validate import ORACLE_VERSION
+
+            payload["oracle"] = ORACLE_VERSION
         blob = json.dumps(payload, sort_keys=True,
                           separators=(",", ":")).encode()
         return hashlib.sha256(blob).hexdigest()
@@ -338,10 +358,13 @@ class ExperimentExecutor:
 
     def __init__(self, jobs: int = 1,
                  cache: bool | RunCache = True,
-                 cache_dir: Optional[os.PathLike | str] = None):
+                 cache_dir: Optional[os.PathLike | str] = None,
+                 validate: bool = False):
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        #: force the correctness oracle on for every submitted config
+        self.validate = bool(validate)
         if isinstance(cache, RunCache):
             self.cache: Optional[RunCache] = cache
         elif cache:
@@ -351,12 +374,18 @@ class ExperimentExecutor:
 
     @classmethod
     def from_env(cls, **overrides: Any) -> "ExperimentExecutor":
-        """Build from ``REPRO_JOBS`` / ``REPRO_RUNCACHE``.
+        """Build from ``REPRO_JOBS`` / ``REPRO_RUNCACHE`` / ``REPRO_VALIDATE``.
 
         ``REPRO_JOBS=N`` sets the pool width (default 1);
         ``REPRO_RUNCACHE=0`` disables the on-disk cache, any other value
-        is a cache-directory override (see :func:`default_cache_dir`).
+        is a cache-directory override (see :func:`default_cache_dir`);
+        ``REPRO_VALIDATE=1`` runs every point under the correctness
+        oracle (workers inherit the environment, so the per-platform
+        default applies there too — setting ``validate`` here keeps the
+        cache keys honest about it).
         """
+        from repro.validate import env_validate_enabled
+
         raw = os.environ.get("REPRO_JOBS", "").strip()
         try:
             jobs = max(1, int(raw)) if raw else 1
@@ -365,6 +394,7 @@ class ExperimentExecutor:
         kwargs: dict[str, Any] = {
             "jobs": jobs,
             "cache": os.environ.get("REPRO_RUNCACHE", "").strip() != "0",
+            "validate": env_validate_enabled(),
         }
         kwargs.update(overrides)
         return cls(**kwargs)
@@ -385,6 +415,10 @@ class ExperimentExecutor:
                     "workload names; closures cannot cross processes)"
                 )
             workload_factory(t.workload)  # fail fast on unknown names
+        if self.validate:
+            tasks = [t if t.config.validate
+                     else replace(t, config=replace(t.config, validate=True))
+                     for t in tasks]
         results: list[Optional[RunResult]] = [None] * len(tasks)
 
         # keys serve both the disk cache and in-batch deduplication

@@ -58,6 +58,14 @@ def run_report(result: Any, title: str | None = None) -> str:
     if perf is not None:
         lines.append("  sim perf: " + "   ".join(
             f"{label} {value}" for label, value in perf.lines()))
+    validation = getattr(result, "validation", None)
+    if validation is not None:
+        checks = validation.get("checks", {})
+        nviol = len(validation.get("violations", []))
+        state = "OK" if not nviol else f"{nviol} VIOLATION(S)"
+        lines.append(f"  validation {state}: "
+                     f"{sum(checks.values())} checks "
+                     f"({', '.join(f'{k} x{v}' for k, v in sorted(checks.items())) or 'none ran'})")
     lines.append(breakdown_table(result.breakdown))
     return "\n".join(lines)
 

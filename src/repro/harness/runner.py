@@ -47,6 +47,10 @@ class ExperimentConfig:
     seed: int = 0
     faults: Any = None
     retry: dict = field(default_factory=dict)
+    #: run the :mod:`repro.validate` correctness oracle: True forces it
+    #: on, False leaves the platform default (the ``REPRO_VALIDATE``
+    #: environment variable / ``parcoll_validate`` hint still apply)
+    validate: bool = False
 
     def build(self) -> tuple[World, LustreFS, MPIIO]:
         from repro.faults import FaultInjector, FaultPlan, RetryPolicy
@@ -69,7 +73,8 @@ class ExperimentConfig:
                       faults=injector, retry=retry)
         if injector is not None:
             injector.validate_platform(fs.params.n_osts, machine.nnodes)
-        return world, fs, MPIIO(world, fs)
+        return world, fs, MPIIO(world, fs,
+                                validate=True if self.validate else None)
 
 
 @dataclass
@@ -87,6 +92,10 @@ class RunResult:
     #: simulation-core counters sampled from the run (None on results
     #: unpickled from caches written before the perf layer existed)
     perf: Optional["PerfStats"] = None
+    #: ``ValidationReport.to_dict()`` of a validated run (None when the
+    #: correctness oracle was off; a dict with zero checks means the
+    #: oracle was on but the workload never exercised it)
+    validation: Optional[dict] = None
 
     def _phase(self, attr: str) -> tuple[int, float]:
         total_bytes = 0
@@ -166,4 +175,6 @@ def run_experiment(config: ExperimentConfig, program: Program) -> RunResult:
         elapsed_total=world.engine.now,
         backend=world.collective_mode,
         perf=collect(world, wall_seconds=wall),
+        validation=(io.validator.report.to_dict()
+                    if io.validator is not None else None),
     )

@@ -46,12 +46,44 @@ class _SharedFile:
 
 
 class MPIIO:
-    """The MPI-IO library instance for one simulated world."""
+    """The MPI-IO library instance for one simulated world.
 
-    def __init__(self, world: World, fs: LustreFS):
+    ``validate`` turns on the :mod:`repro.validate` correctness oracle
+    for every file opened through this instance: ``True``/``False`` are
+    explicit, ``None`` (default) defers to the ``REPRO_VALIDATE``
+    environment variable.  Files may override per open via the
+    ``parcoll_validate`` hint.
+    """
+
+    def __init__(self, world: World, fs: LustreFS,
+                 validate: Optional[bool] = None):
         self.world = world
         self.fs = fs
         self._shared: dict[tuple, _SharedFile] = {}
+        if validate is None:
+            from repro.validate import env_validate_enabled
+
+            validate = env_validate_enabled()
+        self.validator = None
+        if validate:
+            from repro.validate import Validator
+
+            self.validator = Validator()
+
+    def _hint_validator(self, hints: IOHints):
+        """The validator a file with ``hints`` should use (or None).
+
+        A ``parcoll_validate=True`` hint on a non-validating platform
+        creates the shared validator lazily, so single-file validation
+        needs no platform plumbing.
+        """
+        if hints.parcoll_validate is False:
+            return None
+        if hints.parcoll_validate and self.validator is None:
+            from repro.validate import Validator
+
+            self.validator = Validator()
+        return self.validator
 
     def open(self, comm: Communicator, name: str,
              hints: Optional[IOHints | dict] = None,
@@ -90,6 +122,8 @@ class MPIFile:
         self._fp = 0  # individual file pointer, in etype units
         self._open_snapshot = comm.proc.breakdown.snapshot()
         self._closed = False
+        #: active correctness oracle for this file (None = off)
+        self._validator = io._hint_validator(hints)
 
     def _hinted_comm(self) -> Communicator:
         """The file's working communicator: the caller's, with the
@@ -107,7 +141,7 @@ class MPIFile:
     def _env(self) -> IOEnv:
         return IOEnv(comm=self.comm, machine=self.io.world.machine,
                      fs=self.io.fs, lfile=self.lfile, hints=self.hints,
-                     retry=self._retry_policy())
+                     retry=self._retry_policy(), validator=self._validator)
 
     def _retry_policy(self):
         """Effective RetryPolicy: the fs default plus any hint overrides.
@@ -136,6 +170,8 @@ class MPIFile:
         self.hints = self.hints.with_(**kwargs)
         if "collective_mode" in kwargs:
             self.comm = self._hinted_comm()
+        if "parcoll_validate" in kwargs:
+            self._validator = self.io._hint_validator(self.hints)
 
     def _check_open(self) -> None:
         if self._closed:
@@ -177,15 +213,21 @@ class MPIFile:
         segs = self._access(offset_et, n)
         payload = self._as_bytes(data)
         env = self._env()
+        if self._validator is not None:
+            self._validator.record_write(self.lfile, segs, payload)
         if self.hints.protocol == "independent":
-            return (yield from independent_write(env, segs, payload))
-        if self.hints.protocol == "parcoll":
+            written = yield from independent_write(env, segs, payload)
+        elif self.hints.protocol == "parcoll":
             from repro.parcoll.driver import parcoll_write
 
-            return (yield from parcoll_write(env, segs, payload,
-                                             self.shared.parcoll_cache,
-                                             self.view))
-        return (yield from collective_write(env, segs, payload))
+            written = yield from parcoll_write(env, segs, payload,
+                                               self.shared.parcoll_cache,
+                                               self.view)
+        else:
+            written = yield from collective_write(env, segs, payload)
+        if self._validator is not None:
+            self._validator.after_collective_write(self.lfile, self.comm.size)
+        return written
 
     def read_at_all(self, offset_et: int, nbytes: int
                     ) -> Generator[Any, Any, Optional[np.ndarray]]:
@@ -194,14 +236,18 @@ class MPIFile:
         segs = self._access(offset_et, nbytes)
         env = self._env()
         if self.hints.protocol == "independent":
-            return (yield from independent_read(env, segs))
-        if self.hints.protocol == "parcoll":
+            out = yield from independent_read(env, segs)
+        elif self.hints.protocol == "parcoll":
             from repro.parcoll.driver import parcoll_read
 
-            return (yield from parcoll_read(env, segs,
-                                            self.shared.parcoll_cache,
-                                            self.view))
-        return (yield from collective_read(env, segs))
+            out = yield from parcoll_read(env, segs,
+                                          self.shared.parcoll_cache,
+                                          self.view)
+        else:
+            out = yield from collective_read(env, segs)
+        if self._validator is not None:
+            self._validator.check_read(self.lfile, segs, out)
+        return out
 
     def write_all(self, data: Optional[np.ndarray] = None,
                   nbytes: Optional[int] = None) -> Generator[Any, Any, int]:
@@ -238,13 +284,19 @@ class MPIFile:
         self._check_open()
         n = self._data_nbytes(data, nbytes)
         segs = self._access(offset_et, n)
+        payload = self._as_bytes(data)
+        if self._validator is not None:
+            self._validator.record_write(self.lfile, segs, payload)
+            if data_sieving:
+                # sieve windows read-modify-write bytes outside segs
+                self._validator.shadow(
+                    self.lfile.name,
+                    self.lfile.store is not None).exact_coverage = False
         if data_sieving:
             from repro.mpiio.data_sieving import sieved_write
 
-            return (yield from sieved_write(self._env(), segs,
-                                            self._as_bytes(data)))
-        return (yield from independent_write(self._env(), segs,
-                                             self._as_bytes(data)))
+            return (yield from sieved_write(self._env(), segs, payload))
+        return (yield from independent_write(self._env(), segs, payload))
 
     def read_at(self, offset_et: int, nbytes: int, data_sieving: bool = False
                 ) -> Generator[Any, Any, Optional[np.ndarray]]:
@@ -260,6 +312,10 @@ class MPIFile:
         self._check_open()
         comm = self.comm
         yield from comm.barrier(category="sync")
+        if self._validator is not None and comm.rank == 0:
+            # all ranks passed the barrier, so every recorded write —
+            # collective or independent — has reached the file system
+            self._validator.check_file(self.lfile)
         t0 = comm.now
         yield from self.io.fs.mds.service(0)
         comm.proc.breakdown.add("meta", comm.now - t0)

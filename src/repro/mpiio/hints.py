@@ -66,6 +66,12 @@ class IOHints:
     #: world's backend.  Every rank opens with the same hints, so the
     #: override is installed symmetrically.
     collective_mode: Optional[str] = None
+    #: run the :mod:`repro.validate` correctness oracle on this file's
+    #: operations: True forces validation on, False forces it off, None
+    #: (default) inherits the platform's setting (ExperimentConfig
+    #: ``validate`` field / CLI ``--validate`` / ``REPRO_VALIDATE``).
+    #: All ranks open with the same hints, so the choice is symmetric.
+    parcoll_validate: Optional[bool] = None
     #: RPC retry-policy overrides for this file (only consulted under an
     #: active fault plan); None inherits the platform's RetryPolicy.
     #: retry_max_attempts=1 disables retry: the first lost RPC raises
@@ -109,6 +115,11 @@ class IOHints:
                 raise MPIIOError("cb_config_ranks must not be empty")
             if len(set(self.cb_config_ranks)) != len(self.cb_config_ranks):
                 raise MPIIOError("cb_config_ranks contains duplicates")
+        if self.parcoll_validate is not None and not isinstance(
+                self.parcoll_validate, bool):
+            raise MPIIOError(
+                f"parcoll_validate must be True, False or None, "
+                f"got {self.parcoll_validate!r}")
         if self.retry_max_attempts is not None and self.retry_max_attempts < 1:
             raise MPIIOError("retry_max_attempts must be >= 1")
         if self.retry_timeout is not None and self.retry_timeout <= 0:

@@ -75,6 +75,9 @@ class IOEnv:
     hints: IOHints
     #: effective RetryPolicy for this file's RPCs (None = the fs default)
     retry: Optional[object] = None
+    #: active correctness oracle (:class:`repro.validate.Validator`);
+    #: None = validation off, the hooks below cost nothing
+    validator: Optional[object] = None
 
     @property
     def breakdown(self):
@@ -328,6 +331,8 @@ def collective_write(env: IOEnv, segs: Segments,
 
         node_info = node_groups(comm, env.machine)
     plan = plan_rounds(segs, aggs, starts, ends, cb)
+    if env.validator is not None:
+        env.validator.check_exchange_plan(segs, plan, ntimes)
     for rnd in range(ntimes):
         send_lists = _send_lists_from_plan(plan, rnd)
         if node_info is not None:
@@ -446,11 +451,18 @@ def _aggregate_and_write(env: IOEnv, all_counts: np.ndarray,
         sub_offs, sub_lens, piece_data = payload.data
         pieces.append(((sub_offs, sub_lens), piece_data))
     if not pieces:
+        if env.validator is not None:
+            env.validator.check_round_conservation(
+                int(np.asarray(all_counts).sum()), 0, 0, rnd)
         return
     (w_offs, w_lens), merged_data = merge_pieces(
         pieces, verified=env.lfile.store is not None)
     # copy into the collective buffer costs a memcpy
     nbytes = int(w_lens.sum())
+    if env.validator is not None:
+        env.validator.check_round_conservation(
+            int(np.asarray(all_counts).sum()),
+            sum(int(p[0][1].sum()) for p in pieces), nbytes, rnd)
     copy_t = nbytes / memcpy_bw
     yield Sleep(copy_t)
     env.breakdown.add("compute", copy_t)
@@ -488,6 +500,8 @@ def collective_read(env: IOEnv, segs: Segments,
 
     memcpy_bw = comm.world.network.params.memcpy_bandwidth
     plan = plan_rounds(segs, aggs, starts, ends, cb)
+    if env.validator is not None:
+        env.validator.check_exchange_plan(segs, plan, ntimes)
     for rnd in range(ntimes):
         want_lists = _send_lists_from_plan(plan, rnd)
         counts = _counts_vector(want_lists, aggs, comm.size)

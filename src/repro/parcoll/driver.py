@@ -115,6 +115,8 @@ def _prepare(env: IOEnv, segs: Segments, cache: dict
     extents = yield from comm.allgather((lo, hi, nbytes), category="sync")
     plan = plan_partition(extents, env.hints.parcoll_ngroups,
                           allow_intermediate=env.hints.parcoll_intermediate_views)
+    if env.validator is not None:
+        env.validator.check_partition_plan(plan, extents)
     # the cache dict is shared by all ranks of the file, but communicator
     # handles are per-rank objects — key by rank.  Hits and misses stay
     # symmetric across ranks because the plan is a pure function of the
@@ -131,6 +133,19 @@ def _prepare(env: IOEnv, segs: Segments, cache: dict
                                           env.hints)
         per_group = distribute_aggregators(groups, parent_aggs,
                                            comm.desc.members, env.machine)
+        if env.validator is not None:
+            members = comm.desc.members
+
+            def node_of(parent_rank: int) -> int:
+                return env.machine.node_of_rank(members[parent_rank])
+
+            agg_nodes = []
+            for r in parent_aggs:
+                n = node_of(r)
+                if n not in agg_nodes:
+                    agg_nodes.append(n)
+            env.validator.check_aggregator_distribution(
+                groups, per_group, agg_nodes, node_of)
         # translate my group's aggregators to subcommunicator ranks
         members_sorted = groups[my_group]
         sub_aggs = tuple(members_sorted.index(r) for r in per_group[my_group])
@@ -145,6 +160,8 @@ def _prepare(env: IOEnv, segs: Segments, cache: dict
     iview = None
     if plan.uses_intermediate_view:
         iview = IntermediateView(segs, plan.logical_prefix[comm.rank])
+        if env.validator is not None:
+            env.validator.check_iview_roundtrip(iview)
     return plan, subcomm, sub_hints, iview
 
 
@@ -159,7 +176,8 @@ def parcoll_write(env: IOEnv, segs: Segments, data: Optional[np.ndarray],
     """
     plan, subcomm, sub_hints, iview = yield from _prepare(env, segs, cache)
     sub_env = IOEnv(comm=subcomm, machine=env.machine, fs=env.fs,
-                    lfile=env.lfile, hints=sub_hints, retry=env.retry)
+                    lfile=env.lfile, hints=sub_hints, retry=env.retry,
+                    validator=env.validator)
     if iview is not None and env.hints.parcoll_data_path == "logical":
         return (yield from collective_write(sub_env, iview.logical_segments,
                                             data, translate=iview.translate))
@@ -171,7 +189,8 @@ def parcoll_read(env: IOEnv, segs: Segments, cache: dict, view=None
     """Partitioned collective read; returns this rank's dense bytes."""
     plan, subcomm, sub_hints, iview = yield from _prepare(env, segs, cache)
     sub_env = IOEnv(comm=subcomm, machine=env.machine, fs=env.fs,
-                    lfile=env.lfile, hints=sub_hints, retry=env.retry)
+                    lfile=env.lfile, hints=sub_hints, retry=env.retry,
+                    validator=env.validator)
     if iview is not None and env.hints.parcoll_data_path == "logical":
         return (yield from collective_read(sub_env, iview.logical_segments,
                                            translate=iview.translate))

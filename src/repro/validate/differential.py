@@ -1,0 +1,305 @@
+"""The seeded differential harness: protocols x backends vs the oracle.
+
+One :class:`DiffCase` is a randomly drawn but fully reproducible
+configuration — an access pattern from the paper's Figure 4 families,
+Lustre striping, a ParColl grouping, a collective-fidelity backend, and
+(sometimes) a fault plan.  :func:`run_case` executes it as a small
+verified-mode simulation per protocol/backend combination and asserts:
+
+* every combination produces **byte-identical file contents** against
+  :func:`~repro.validate.oracle.sequential_golden` (the runtime
+  :class:`~repro.validate.Validator` is live too, so all invariant
+  checks and the read-back oracle run for free);
+* virtual-time metrics are **replay-deterministic**: running the same
+  combination twice yields the same elapsed time, message count, and
+  per-category breakdown.
+
+Cases are drawn by :func:`generate_cases` from a seeded PCG64 stream, so
+``repro.cli validate differential --cases N --seed S`` is a stable CI
+gate — no Hypothesis shrinking, no flakiness, and the JSON report names
+the exact failing case for replay.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster import MachineConfig, NetworkParams
+from repro.datatypes import BYTE
+from repro.lustre import LustreFS, LustreParams
+from repro.mpiio import MPIIO
+from repro.simmpi import World
+from repro.validate.oracle import OracleDiff, sequential_golden
+from repro.workloads.base import deterministic_bytes
+from repro.workloads.synthetic import (SyntheticConfig, file_bytes_total,
+                                       filetype_for,
+                                       rank_offsets_for_interleaved)
+
+#: every registered collective-fidelity backend family gets coverage
+BACKENDS = (
+    "analytic",
+    "detailed",
+    "hybrid:sync=analytic,default=detailed",
+    "sizethreshold:2048",
+)
+
+#: the paper's pattern families: (a) serial, (b) tiled, (c) interleaved,
+#: plus seeded random disjoint sets
+PATTERNS = ("serial", "tiled", "interleaved", "random")
+
+
+@dataclass(frozen=True)
+class DiffCase:
+    """One reproducible differential-test point."""
+
+    pattern: str
+    nprocs: int
+    bytes_per_rank: int
+    piece_bytes: int
+    seed: int
+    stripe_size: int
+    stripe_count: int
+    n_osts: int
+    ngroups: int
+    data_path: str
+    backend: str
+    #: FaultPlan.to_dict() mapping, or None for a fault-free platform
+    faults: Optional[dict] = None
+
+    def synthetic(self) -> SyntheticConfig:
+        return SyntheticConfig(pattern=self.pattern, nprocs=self.nprocs,
+                               bytes_per_rank=self.bytes_per_rank,
+                               piece_bytes=self.piece_bytes, seed=self.seed)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+def generate_cases(n: int, seed: int = 0) -> list[DiffCase]:
+    """Draw ``n`` cases from a seeded stream (same seed = same cases).
+
+    Pattern families and backends cycle deterministically so even small
+    ``n`` covers all of (a)/(b)/(c)/random and every backend; the other
+    dimensions are sampled.  Roughly one case in five carries a fault
+    plan (a straggling OST, a slow node, or lost RPCs under a generous
+    retry budget) — faults must never change file bytes.
+    """
+    rng = np.random.Generator(np.random.PCG64(seed))
+    cases = []
+    for i in range(n):
+        n_osts = int(rng.choice([2, 4]))
+        faults = None
+        draw = rng.random()
+        if draw < 0.08:
+            faults = {"events": [{
+                "kind": "ost_degrade", "ost": int(rng.integers(n_osts)),
+                "factor": float(np.round(rng.uniform(0.25, 0.75), 3)),
+                "start": 0.0, "end": None}]}
+        elif draw < 0.14:
+            faults = {"events": [{
+                "kind": "node_slowdown", "node": 0,
+                "factor": float(np.round(rng.uniform(0.3, 0.8), 3)),
+                "start": 0.0, "end": None}]}
+        elif draw < 0.2:
+            faults = {"events": [{
+                "kind": "flaky_rpc", "ost": int(rng.integers(n_osts)),
+                "prob": float(np.round(rng.uniform(0.02, 0.12), 3)),
+                "start": 0.0, "end": None}]}
+        cases.append(DiffCase(
+            pattern=PATTERNS[i % len(PATTERNS)],
+            nprocs=int(rng.choice([2, 4, 6, 8])),
+            bytes_per_rank=int(rng.choice([256, 1024, 2048, 4096])),
+            piece_bytes=int(rng.choice([64, 128, 256])),
+            seed=int(rng.integers(0, 100_000)),
+            stripe_size=int(rng.choice([256, 512, 1024])),
+            stripe_count=int(rng.choice([2, n_osts])),
+            n_osts=n_osts,
+            ngroups=int(rng.choice([2, 3, 4, 8])),
+            data_path=("physical", "logical")[int(rng.integers(2))],
+            backend=BACKENDS[i % len(BACKENDS)],
+            faults=faults,
+        ))
+    return cases
+
+
+def golden_bytes(cfg: SyntheticConfig) -> np.ndarray:
+    """The oracle file contents for one synthetic pattern."""
+    writes = []
+    for rank in range(cfg.nprocs):
+        ft = filetype_for(cfg, rank)
+        offs, lens = ft.segments()
+        disp = (rank_offsets_for_interleaved(cfg, rank)
+                if cfg.pattern == "interleaved" else 0)
+        writes.append(((offs + disp, lens),
+                       deterministic_bytes(rank, int(lens.sum()))))
+    return sequential_golden(file_bytes_total(cfg), writes)
+
+
+def _run_combo(case: DiffCase, hints: dict) -> dict[str, Any]:
+    """One verified-mode simulation of ``case`` under ``hints``.
+
+    The correctness oracle is always on, so the run itself raises
+    :class:`~repro.errors.ValidationError` on any invariant or oracle
+    violation; the returned metrics feed the replay-determinism check.
+    """
+    from repro.faults import FaultInjector, FaultPlan
+
+    cfg = case.synthetic()
+    injector = None
+    plan = FaultPlan.coerce(case.faults)
+    if not plan.is_empty:
+        injector = FaultInjector(plan, seed=case.seed)
+    machine = MachineConfig(nprocs=cfg.nprocs, cores_per_node=2)
+    world = World(machine, net_params=NetworkParams(), faults=injector)
+    fs = LustreFS(world.engine,
+                  LustreParams(n_osts=case.n_osts,
+                               default_stripe_count=case.stripe_count,
+                               default_stripe_size=case.stripe_size,
+                               store_data=True),
+                  seed=case.seed, faults=injector)
+    if injector is not None:
+        injector.validate_platform(fs.params.n_osts, machine.nnodes)
+    io = MPIIO(world, fs, validate=True)
+    if any(plan.has_flaky(ost) for ost in range(case.n_osts)):
+        # lost RPCs must never exhaust the retry budget in a gate run
+        hints = {**hints, "retry_max_attempts": 12}
+
+    def program(comm, _io):
+        ft = filetype_for(cfg, comm.rank)
+        disp = (rank_offsets_for_interleaved(cfg, comm.rank)
+                if cfg.pattern == "interleaved" else 0)
+        f = yield from io.open(comm, "diff", hints=hints)
+        f.set_view(disp, BYTE, ft)
+        data = deterministic_bytes(comm.rank, ft.size)
+        yield from f.write_at_all(0, data)
+        got = yield from f.read_at_all(0, ft.size)
+        yield from f.close()
+        return got
+
+    world.launch(lambda comm: program(comm, io))
+    raw = fs.lookup("diff").contents()
+    full = np.zeros(file_bytes_total(cfg), dtype=np.uint8)
+    full[: raw.size] = raw
+    return {
+        "bytes": full,
+        "elapsed": world.engine.now,
+        "messages": world.network.messages_sent,
+        "events": world.engine.effects_dispatched,
+        "report": io.validator.report.to_dict(),
+        "checks": io.validator.report.total_checks,
+    }
+
+
+def _byte_diff(name: str, expected: np.ndarray,
+               got: np.ndarray) -> Optional[OracleDiff]:
+    bad = np.flatnonzero(expected != got)
+    if bad.size == 0:
+        return None
+    first = int(bad[0])
+    lo, hi = max(0, first - 4), min(expected.size, first + 8)
+    return OracleDiff(file=name, kind="bytes", offset=first,
+                      nbytes=int(bad.size),
+                      expected=expected[lo:hi].tolist(),
+                      got=got[lo:hi].tolist())
+
+
+def run_case(case: DiffCase) -> dict[str, Any]:
+    """Run every protocol/backend combination of one case.
+
+    Returns ``{"case", "ok", "checks", "failures"}`` where failures
+    carry enough context (combo label, diff/exception) to replay.
+    """
+    golden = golden_bytes(case.synthetic())
+    parcoll_hints = {"protocol": "parcoll", "parcoll_ngroups": case.ngroups,
+                     "parcoll_data_path": case.data_path}
+    combos = [
+        ("ext2ph@analytic", {"protocol": "ext2ph"}),
+        ("parcoll@analytic", dict(parcoll_hints)),
+        (f"parcoll@{case.backend}",
+         {**parcoll_hints, "collective_mode": case.backend}),
+    ]
+    failures: list[dict[str, Any]] = []
+    checks = 0
+    replay_probe = None
+    for label, hints in combos:
+        try:
+            out = _run_combo(case, hints)
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            failures.append({"combo": label, "error": f"{type(exc).__name__}: {exc}"})
+            continue
+        checks += out["checks"]
+        diff = _byte_diff(label, golden, out["bytes"])
+        if diff is not None:
+            failures.append({"combo": label, "diff": diff.to_dict()})
+        if label.startswith("parcoll@") and "@analytic" not in label:
+            replay_probe = (label, hints, out)
+    if replay_probe is not None:
+        label, hints, first = replay_probe
+        try:
+            second = _run_combo(case, hints)
+        except Exception as exc:  # noqa: BLE001
+            failures.append({"combo": f"replay:{label}",
+                             "error": f"{type(exc).__name__}: {exc}"})
+        else:
+            checks += 1
+            for metric in ("elapsed", "messages", "events"):
+                if first[metric] != second[metric]:
+                    failures.append({
+                        "combo": f"replay:{label}",
+                        "error": (f"non-deterministic {metric}: "
+                                  f"{first[metric]!r} != {second[metric]!r}")})
+    return {"case": case.to_dict(), "ok": not failures, "checks": checks,
+            "failures": failures}
+
+
+@dataclass
+class DifferentialSummary:
+    """Aggregated outcome of one harness run (the CI artifact)."""
+
+    seed: int
+    cases: int = 0
+    passed: int = 0
+    checks: int = 0
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.passed == self.cases
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seed": self.seed, "cases": self.cases, "passed": self.passed,
+                "checks": self.checks, "ok": self.ok,
+                "failures": self.failures}
+
+    def write_json(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def run_differential(cases: Sequence[DiffCase] | int, seed: int = 0,
+                     progress=None) -> DifferentialSummary:
+    """Run the harness over ``cases`` (a list, or a count to generate).
+
+    ``progress`` is an optional ``fn(done, total)`` callback.
+    """
+    if isinstance(cases, int):
+        cases = generate_cases(cases, seed=seed)
+    summary = DifferentialSummary(seed=seed)
+    total = len(cases)
+    for i, case in enumerate(cases):
+        out = run_case(case)
+        summary.cases += 1
+        summary.checks += out["checks"]
+        if out["ok"]:
+            summary.passed += 1
+        else:
+            summary.failures.append({"case": out["case"],
+                                     "failures": out["failures"]})
+        if progress is not None:
+            progress(i + 1, total)
+    return summary

@@ -1,0 +1,227 @@
+"""Byte-level file-content oracles.
+
+The paper's central correctness claim is that FA partitioning plus
+intermediate file views produce *the same file bytes* as the
+unpartitioned extended two-phase engine.  This module materializes the
+expected bytes without running any protocol at all:
+
+:func:`sequential_golden`
+    a sequential golden writer — applies each rank's flattened view
+    segments and dense data to a plain array, in rank order, exactly as
+    MPI-IO semantics demand for disjoint collective writes.  No
+    aggregation, no rounds, no exchange: just datatype flattening.
+:class:`ShadowFile`
+    the same golden state grown incrementally, one recorded write at a
+    time, next to a live simulation.  In verified mode it holds real
+    bytes; in model mode it tracks written extents only, so the oracle
+    still checks *coverage* when experiments never materialize data.
+:class:`OracleDiff`
+    a structured mismatch report (first diverging offset, expected/got
+    context bytes) that harnesses can dump as a CI artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.datatypes.flatten import Segments, coalesce
+from repro.errors import ValidationError
+
+#: bump when oracle semantics change: part of every RunCache key, so a
+#: cached result validated under old semantics is never trusted by new ones
+ORACLE_VERSION = 1
+
+#: bytes of context shown around the first mismatch
+_DIFF_CONTEXT = 8
+
+
+@dataclass
+class OracleDiff:
+    """One file-content mismatch between a run and its golden oracle."""
+
+    file: str
+    #: 'bytes' (verified mode) or 'extents' (model mode)
+    kind: str
+    #: first diverging file offset (byte granularity)
+    offset: int
+    #: total mismatching bytes
+    nbytes: int
+    expected: list[int] = field(default_factory=list)
+    got: list[int] = field(default_factory=list)
+
+    def describe(self) -> str:
+        exp = " ".join(f"{b:02x}" for b in self.expected)
+        got = " ".join(f"{b:02x}" for b in self.got)
+        return (f"file {self.file!r}: {self.kind} diverge from the golden "
+                f"oracle at offset {self.offset} ({self.nbytes} byte(s) "
+                f"differ); expected [{exp}] got [{got}]")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"file": self.file, "kind": self.kind, "offset": self.offset,
+                "nbytes": self.nbytes, "expected": list(self.expected),
+                "got": list(self.got)}
+
+    def raise_(self) -> None:
+        raise ValidationError("file_oracle", self.describe(),
+                              detail=self.to_dict())
+
+
+def sequential_golden(size: int,
+                      writes: Sequence[tuple[Segments, np.ndarray]]
+                      ) -> np.ndarray:
+    """Expected file bytes of ``writes`` applied sequentially.
+
+    Each write is ``(segments, dense_data)`` — the flattened form of one
+    rank's file view plus the bytes in data order.  Writes are applied
+    in sequence, so later writes win on overlap (MPI-IO write ordering
+    for non-concurrent operations; collective writers within one call
+    must be disjoint anyway).
+    """
+    out = np.zeros(size, dtype=np.uint8)
+    for (offs, lens), data in writes:
+        flat = np.asarray(data, dtype=np.uint8).ravel()
+        total = int(np.asarray(lens).sum()) if len(lens) else 0
+        if flat.size != total:
+            raise ValidationError(
+                "golden_writer",
+                f"data has {flat.size} bytes, segments cover {total}")
+        pos = 0
+        for o, l in zip(np.asarray(offs).tolist(),
+                        np.asarray(lens).tolist()):
+            out[o:o + l] = flat[pos:pos + l]
+            pos += l
+    return out
+
+
+class ShadowFile:
+    """The golden state of one simulated file, grown write by write.
+
+    ``verified`` mirrors the platform: with real bytes the shadow holds
+    a dense array; without, it accumulates written extents.  Both sides
+    start as all-zeros / nothing-written, matching a fresh
+    :class:`~repro.lustre.store.ByteStore` / ``ExtentTracker``.
+    """
+
+    def __init__(self, name: str, verified: bool):
+        self.name = name
+        self.verified = verified
+        self._buf = np.zeros(4096, dtype=np.uint8)
+        self.size = 0
+        self._offs: list[int] = []
+        self._lens: list[int] = []
+        #: writes recorded (for report counting)
+        self.writes = 0
+        #: False once a write legitimately touched bytes outside its
+        #: recorded segments (data sieving's read-modify-write windows);
+        #: the model-mode extent oracle is then advisory only
+        self.exact_coverage = True
+
+    # -- recording ------------------------------------------------------
+    def _ensure(self, end: int) -> None:
+        if end > self._buf.size:
+            cap = self._buf.size
+            while cap < end:
+                cap *= 2
+            buf = np.zeros(cap, dtype=np.uint8)
+            buf[: self._buf.size] = self._buf
+            self._buf = buf
+
+    def record(self, segs: Segments, data: Optional[np.ndarray]) -> None:
+        """Apply one rank's write (its view segments + dense bytes)."""
+        offs, lens = segs
+        offs = np.asarray(offs, dtype=np.int64).ravel()
+        lens = np.asarray(lens, dtype=np.int64).ravel()
+        total = int(lens.sum())
+        self.writes += 1
+        if self.verified:
+            if data is None:
+                raise ValidationError(
+                    "file_oracle",
+                    f"verified-mode write on {self.name!r} recorded "
+                    "without data")
+            flat = np.asarray(data, dtype=np.uint8).ravel()
+            if flat.size != total:
+                raise ValidationError(
+                    "file_oracle",
+                    f"recorded write on {self.name!r} has {flat.size} "
+                    f"data bytes but covers {total}")
+            if total:
+                self._ensure(int(offs[-1] + lens[-1]))
+                pos = 0
+                for o, l in zip(offs.tolist(), lens.tolist()):
+                    self._buf[o:o + l] = flat[pos:pos + l]
+                    pos += l
+        self._offs.extend(offs.tolist())
+        self._lens.extend(lens.tolist())
+        if total:
+            self.size = max(self.size, int(offs[-1] + lens[-1]))
+
+    # -- oracle views ---------------------------------------------------
+    @property
+    def bytes(self) -> np.ndarray:
+        """The expected file contents up to the current size (copy)."""
+        return self._buf[: self.size].copy()
+
+    @property
+    def extents(self) -> Segments:
+        """Coalesced extents every recorded write covered."""
+        return coalesce(np.array(self._offs, dtype=np.int64),
+                        np.array(self._lens, dtype=np.int64))
+
+    def expected_read(self, segs: Segments) -> np.ndarray:
+        """The dense bytes a correct read of ``segs`` must return."""
+        offs, lens = segs
+        total = int(np.asarray(lens).sum()) if len(lens) else 0
+        out = np.zeros(total, dtype=np.uint8)
+        end = int(offs[-1] + lens[-1]) if total else 0
+        self._ensure(end)
+        pos = 0
+        for o, l in zip(np.asarray(offs).tolist(),
+                        np.asarray(lens).tolist()):
+            out[pos:pos + l] = self._buf[o:o + l]
+            pos += l
+        return out
+
+    # -- diffing --------------------------------------------------------
+    def diff_bytes(self, actual: np.ndarray) -> Optional[OracleDiff]:
+        """First divergence of ``actual`` from the golden bytes, or None.
+
+        ``actual`` may be shorter than the shadow (trailing zero bytes
+        are never stored by the simulated fs) — missing tail bytes
+        compare as zero, exactly like a short read would return them.
+        """
+        expected = self.bytes
+        got = np.zeros(expected.size, dtype=np.uint8)
+        n = min(expected.size, np.asarray(actual).size)
+        got[:n] = np.asarray(actual, dtype=np.uint8).ravel()[:n]
+        bad = np.flatnonzero(expected != got)
+        if bad.size == 0:
+            return None
+        first = int(bad[0])
+        lo = max(0, first - _DIFF_CONTEXT // 2)
+        hi = min(expected.size, first + _DIFF_CONTEXT)
+        return OracleDiff(file=self.name, kind="bytes", offset=first,
+                          nbytes=int(bad.size),
+                          expected=expected[lo:hi].tolist(),
+                          got=got[lo:hi].tolist())
+
+    def diff_extents(self, offsets, lengths) -> Optional[OracleDiff]:
+        """Model-mode oracle: written coverage must match exactly."""
+        want_o, want_l = self.extents
+        got_o, got_l = coalesce(np.asarray(offsets, dtype=np.int64),
+                                np.asarray(lengths, dtype=np.int64))
+        if (want_o.size == got_o.size and np.array_equal(want_o, got_o)
+                and np.array_equal(want_l, got_l)):
+            return None
+        # first offset where the coverage maps disagree
+        want_set = set(zip(want_o.tolist(), want_l.tolist()))
+        got_set = set(zip(got_o.tolist(), got_l.tolist()))
+        odd = sorted(want_set.symmetric_difference(got_set))
+        first = odd[0][0] if odd else 0
+        missing = sum(l for _, l in want_set - got_set)
+        extra = sum(l for _, l in got_set - want_set)
+        return OracleDiff(file=self.name, kind="extents", offset=int(first),
+                          nbytes=int(missing + extra))

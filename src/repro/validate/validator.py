@@ -1,0 +1,182 @@
+"""The runtime validation context threaded through one simulated platform.
+
+One :class:`Validator` is shared by every rank of a simulation (ranks
+are generators inside one process, so sharing is free).  The MPI-IO
+layer calls its hooks when validation is enabled — via the
+``parcoll_validate`` MPI-IO hint, the ``validate`` field of an
+:class:`~repro.harness.runner.ExperimentConfig`, the CLI ``--validate``
+flag, or the ``REPRO_VALIDATE`` environment variable:
+
+* :meth:`record_write` / :meth:`after_collective_write` maintain the
+  per-file :class:`~repro.validate.oracle.ShadowFile` and diff it
+  against the simulated Lustre file once the last rank of the
+  communicator leaves each collective write (and again at close, which
+  also covers independent writes);
+* :meth:`check_read` asserts a read returned exactly the oracle bytes;
+* the ``check_*`` wrappers dispatch to :mod:`repro.validate.invariants`
+  and count every check into the :class:`ValidationReport`.
+
+Checks fail *loudly*: the first violation raises
+:class:`~repro.errors.ValidationError` out of the simulation.  The
+report records how many checks ran — a run that reports zero checks
+validated nothing.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.datatypes.flatten import Segments
+from repro.validate import invariants
+from repro.validate.oracle import OracleDiff, ShadowFile
+
+
+def env_validate_enabled(environ: Optional[dict] = None) -> bool:
+    """Whether ``REPRO_VALIDATE`` asks for validation (unset/0/'' = no)."""
+    raw = (environ if environ is not None else os.environ).get(
+        "REPRO_VALIDATE", "")
+    return str(raw).strip().lower() not in ("", "0", "false", "no", "off")
+
+
+@dataclass
+class ValidationReport:
+    """What one validated run actually checked."""
+
+    #: check name -> number of times it ran (and passed)
+    checks: Counter = field(default_factory=Counter)
+    #: oracle diffs encountered (non-empty only if a caller collected
+    #: instead of raising; the default hooks raise on the first diff)
+    violations: list = field(default_factory=list)
+
+    @property
+    def total_checks(self) -> int:
+        return int(sum(self.checks.values()))
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"checks": dict(self.checks),
+                "violations": [v.to_dict() if isinstance(v, OracleDiff)
+                               else str(v) for v in self.violations]}
+
+    def summary(self) -> str:
+        if not self.checks:
+            return "validation: no checks ran"
+        parts = ", ".join(f"{name} x{n}"
+                          for name, n in sorted(self.checks.items()))
+        state = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        return f"validation {state}: {self.total_checks} checks ({parts})"
+
+
+class Validator:
+    """Shared validation state for one simulated platform."""
+
+    def __init__(self) -> None:
+        self.report = ValidationReport()
+        self._shadows: dict[str, ShadowFile] = {}
+        #: per-file completion counter for collective-write epochs
+        self._write_done: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # file-content oracle hooks (MPIFile level)
+    # ------------------------------------------------------------------
+    def shadow(self, name: str, verified: bool) -> ShadowFile:
+        sh = self._shadows.get(name)
+        if sh is None:
+            sh = ShadowFile(name, verified)
+            self._shadows[name] = sh
+        return sh
+
+    def record_write(self, lfile, segs: Segments,
+                     data: Optional[np.ndarray]) -> None:
+        """Register one rank's contribution before the protocol runs."""
+        self.shadow(lfile.name, lfile.store is not None).record(segs, data)
+
+    def after_collective_write(self, lfile, comm_size: int) -> None:
+        """Diff shadow vs simulated file once all ranks completed the call.
+
+        Collective calls complete on every rank inside one engine run,
+        so counting completions is a deterministic barrier substitute.
+        """
+        self._write_done[lfile.name] += 1
+        if self._write_done[lfile.name] % comm_size == 0:
+            self.check_file(lfile)
+
+    def check_file(self, lfile) -> None:
+        """Byte- (verified) or extent-level (model) oracle comparison."""
+        sh = self._shadows.get(lfile.name)
+        if sh is None:
+            return
+        if lfile.store is not None:
+            diff = sh.diff_bytes(lfile.store.snapshot())
+            self.report.checks["file_oracle_bytes"] += 1
+        else:
+            if not sh.exact_coverage:
+                # sieved writes touch bytes outside their segments; the
+                # coverage map is then a superset and diffing would lie
+                self.report.checks["file_oracle_extents_skipped"] += 1
+                return
+            offs, lens = lfile.tracker.extents
+            diff = sh.diff_extents(offs, lens)
+            self.report.checks["file_oracle_extents"] += 1
+        if diff is not None:
+            self.report.violations.append(diff)
+            diff.raise_()
+
+    def check_read(self, lfile, segs: Segments,
+                   got: Optional[np.ndarray]) -> None:
+        """Read-back oracle: the returned bytes must match the shadow."""
+        if lfile.store is None or got is None:
+            return
+        sh = self.shadow(lfile.name, True)
+        expected = sh.expected_read(segs)
+        got = np.asarray(got, dtype=np.uint8).ravel()
+        self.report.checks["read_oracle"] += 1
+        if got.size != expected.size or not np.array_equal(got, expected):
+            bad = np.flatnonzero(expected[:min(expected.size, got.size)]
+                                 != got[:min(expected.size, got.size)])
+            first = int(bad[0]) if bad.size else min(expected.size, got.size)
+            diff = OracleDiff(file=lfile.name, kind="read", offset=first,
+                              nbytes=int(bad.size)
+                              or abs(expected.size - got.size))
+            self.report.violations.append(diff)
+            diff.raise_()
+
+    # ------------------------------------------------------------------
+    # invariant hooks (protocol level)
+    # ------------------------------------------------------------------
+    def check_partition_plan(self, plan,
+                             extents: Sequence[tuple[int, int, int]]) -> None:
+        invariants.check_partition_plan(plan, extents)
+        self.report.checks["fa_partition"] += 1
+
+    def check_aggregator_distribution(
+            self, groups: Sequence[Sequence[int]],
+            assignment: Sequence[Sequence[int]],
+            agg_nodes: Sequence[int],
+            node_of: Callable[[int], int]) -> None:
+        invariants.check_aggregator_distribution(groups, assignment,
+                                                 agg_nodes, node_of)
+        self.report.checks["aggregator_distribution"] += 1
+
+    def check_iview_roundtrip(self, iview) -> None:
+        invariants.check_iview_roundtrip(iview)
+        self.report.checks["iview_roundtrip"] += 1
+
+    def check_exchange_plan(self, segs: Segments, plan,
+                            ntimes: int) -> None:
+        invariants.check_exchange_plan(segs, plan, ntimes)
+        self.report.checks["exchange_plan"] += 1
+
+    def check_round_conservation(self, announced: int, received: int,
+                                 written: int, rnd: int) -> None:
+        invariants.check_round_conservation(announced, received, written,
+                                            rnd)
+        self.report.checks["round_conservation"] += 1

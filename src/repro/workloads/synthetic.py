@@ -18,6 +18,7 @@ intermediate views) writes byte-identical files.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Literal
 
@@ -73,8 +74,11 @@ def filetype_for(cfg: SyntheticConfig, rank: int) -> Datatype:
     # random: seeded disjoint blocks; rank owns every block b with
     # owner[b] == rank from a shuffled assignment
     npieces_total = max(p, (p * n) // piece)
+    # NOT hash("synth"): str hashes are randomized per process, which
+    # would make the layout depend on PYTHONHASHSEED
     rng = np.random.Generator(np.random.PCG64(
-        np.random.SeedSequence(entropy=cfg.seed, spawn_key=(hash("synth") % 2**31,))))
+        np.random.SeedSequence(entropy=cfg.seed,
+                               spawn_key=(zlib.crc32(b"synth"),))))
     owners = rng.integers(0, p, size=npieces_total)
     # guarantee everyone owns at least one piece
     owners[:p] = rng.permutation(p)

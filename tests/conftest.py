@@ -1,12 +1,32 @@
-"""Shared fixtures: a small simulated machine + file system + MPI-IO stack."""
+"""Shared fixtures: a small simulated machine + file system + MPI-IO stack.
+
+Hypothesis runs under one of two registered profiles, selected by the
+``HYPOTHESIS_PROFILE`` environment variable:
+
+* ``fast`` (default) — few, seeded, deterministic examples; what CI's
+  test matrix and local ``pytest`` runs use;
+* ``thorough`` — many examples with no deadline, for the nightly
+  property sweep (``HYPOTHESIS_PROFILE=thorough pytest``).
+"""
+
+import os
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.cluster import MachineConfig, NetworkParams
 from repro.lustre import LustreFS, LustreParams
 from repro.mpiio import MPIIO
 from repro.simmpi import World
+
+settings.register_profile(
+    "fast", max_examples=20, deadline=None, derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile(
+    "thorough", max_examples=300, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "fast"))
 
 
 class Stack:

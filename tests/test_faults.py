@@ -224,8 +224,12 @@ class TestFaultRuns:
         flakier = tile_task(faults=FaultPlan.flaky(0.5, ost=1))
         retried = tile_task(faults=FaultPlan.flaky(0.4, ost=1),
                             retry={"max_attempts": 4})
-        keys = {t.cache_key() for t in (base, empty, flaky, flakier, retried)}
-        assert len(keys) == 5
+        # every spelling of "no faults" is one platform and one key
+        assert base.cache_key() == empty.cache_key()
+        assert base.cache_key() == tile_task(
+            faults={"events": []}).cache_key()
+        keys = {t.cache_key() for t in (base, flaky, flakier, retried)}
+        assert len(keys) == 4
         # but identical plans authored in different orders share a key
         a = tile_task(faults=FaultPlan.straggler_ost(0, 0.5)
                       + FaultPlan.stall(1, 1.0, 2.0))
@@ -262,6 +266,30 @@ class TestParallelFaultSweeps:
         again = ex.run_many([task])[0]
         assert ex.cache.hits >= 1
         assert metrics(first) == metrics(again)
+
+    def test_exhaustion_surfaces_inline_through_run_many(self):
+        task = tile_task(faults=FaultPlan.flaky(1.0, ost=0),
+                         retry={"max_attempts": 2})
+        ex = ExperimentExecutor(jobs=1, cache=False)
+        with pytest.raises(FaultExhaustedError) as err:
+            ex.run_many([task])
+        assert err.value.ost == 0
+        assert err.value.attempts == 2
+
+    def test_exhaustion_surfaces_from_pool_with_worker_traceback(self):
+        from repro.harness.parallel import RemoteTraceback
+
+        task = tile_task(faults=FaultPlan.flaky(1.0, ost=0),
+                         retry={"max_attempts": 2})
+        ex = ExperimentExecutor(jobs=2, cache=False)
+        with pytest.raises(FaultExhaustedError) as err:
+            ex.run_many([task, tile_task()])
+        assert err.value.attempts == 2
+        # the worker's failure site rides along as the cause
+        cause = err.value.__cause__
+        assert isinstance(cause, RemoteTraceback)
+        assert "FaultExhaustedError" in cause.tb
+        assert "rpc_delay" in cause.tb or "fault" in cause.tb
 
 
 class TestFaultSweepHarness:

@@ -1,0 +1,161 @@
+"""How validation threads through the stack: hints, configs, executor,
+run cache, and the close-time oracle hook."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import BYTE
+from repro.errors import ValidationError
+from repro.harness.parallel import ExperimentExecutor, ExperimentTask, RunCache
+from repro.harness.runner import ExperimentConfig
+from repro.validate import ORACLE_VERSION, env_validate_enabled
+from repro.workloads import TileIOConfig
+from repro.workloads.base import deterministic_bytes
+from repro.workloads.synthetic import SyntheticConfig, filetype_for
+from tests.conftest import Stack
+
+LUSTRE = {"n_osts": 4, "default_stripe_count": 4, "default_stripe_size": 1024}
+
+
+def tile_task(validate=False, **hints):
+    wl = TileIOConfig(tile_rows=32, tile_cols=32, element_size=8,
+                      hints=hints or None)
+    cfg = ExperimentConfig(nprocs=8, lustre=LUSTRE, validate=validate)
+    return ExperimentTask(cfg, "tile_io", wl)
+
+
+class TestEnvSwitch:
+    @pytest.mark.parametrize("raw,on", [
+        ("", False), ("0", False), ("false", False), ("no", False),
+        ("off", False), ("1", True), ("true", True), ("yes", True),
+    ])
+    def test_env_values(self, raw, on):
+        assert env_validate_enabled({"REPRO_VALIDATE": raw}) is on
+
+    def test_unset_means_off(self):
+        assert env_validate_enabled({}) is False
+
+
+class TestHintPlumbing:
+    def run_synth(self, hints):
+        cfg = SyntheticConfig(pattern="interleaved", nprocs=4,
+                              bytes_per_rank=1024, piece_bytes=128)
+        stack = Stack(nprocs=4, stripe_size=512)
+
+        def program(comm, io):
+            ft = filetype_for(cfg, comm.rank)
+            f = yield from io.open(comm, "v", hints=hints)
+            f.set_view(comm.rank * cfg.piece_bytes, BYTE, ft)
+            data = deterministic_bytes(comm.rank, ft.size)
+            yield from f.write_at_all(0, data)
+            got = yield from f.read_at_all(0, ft.size)
+            yield from f.close()
+            return got
+
+        stack.run(program)
+        return stack.io
+
+    def test_hint_enables_validator(self):
+        io = self.run_synth({"protocol": "parcoll", "parcoll_ngroups": 2,
+                             "parcoll_validate": True})
+        report = io.validator.report
+        assert report.ok
+        assert report.checks["file_oracle_bytes"] >= 1
+        assert report.checks["read_oracle"] >= 1
+        assert report.checks["fa_partition"] >= 1
+
+    def test_default_is_off(self):
+        io = self.run_synth({"protocol": "parcoll", "parcoll_ngroups": 2})
+        assert io.validator is None
+
+    def test_hint_false_forces_off_even_when_platform_validates(self):
+        stack = Stack(nprocs=2)
+        stack.io.validator = None
+        from repro.validate import Validator
+
+        stack.io.validator = Validator()
+
+        def program(comm, io):
+            f = yield from io.open(comm, "off",
+                                   hints={"parcoll_validate": False})
+            yield from f.write_at_all(
+                comm.rank * 4, np.full(4, comm.rank, dtype=np.uint8))
+            yield from f.close()
+
+        stack.run(program)
+        assert stack.io.validator.report.total_checks == 0
+
+    def test_oracle_fires_through_close(self):
+        stack = Stack(nprocs=2)
+
+        def program(comm, io):
+            f = yield from io.open(comm, "bad",
+                                   hints={"parcoll_validate": True})
+            yield from f.write_at_all(
+                comm.rank * 4, np.full(4, 1 + comm.rank, dtype=np.uint8))
+            if comm.rank == 0:
+                # poison the oracle: claim bytes the fs never saw
+                io.validator.record_write(
+                    f.lfile,
+                    (np.array([64], dtype=np.int64),
+                     np.array([2], dtype=np.int64)),
+                    np.array([9, 9], dtype=np.uint8))
+            yield from f.close()
+
+        with pytest.raises(ValidationError, match="file_oracle"):
+            stack.run(program)
+
+
+class TestCacheKeys:
+    def test_validate_flag_changes_key(self):
+        assert tile_task().cache_key() != tile_task(validate=True).cache_key()
+
+    def test_oracle_version_rolls_validated_keys_only(self, monkeypatch):
+        import repro.validate.oracle as oracle_mod
+
+        plain = tile_task().cache_key()
+        validated = tile_task(validate=True).cache_key()
+        monkeypatch.setattr(oracle_mod, "ORACLE_VERSION",
+                            ORACLE_VERSION + 1)
+        # the key reads the live package attribute
+        import repro.validate as validate_pkg
+
+        monkeypatch.setattr(validate_pkg, "ORACLE_VERSION",
+                            ORACLE_VERSION + 1)
+        assert tile_task().cache_key() == plain
+        assert tile_task(validate=True).cache_key() != validated
+
+
+class TestExecutorValidate:
+    def test_cached_unvalidated_run_not_reused_for_validate(self, tmp_path):
+        cache = RunCache(tmp_path)
+        plain = ExperimentExecutor(cache=cache)
+        task = tile_task(protocol="parcoll", parcoll_ngroups=2)
+        r0 = plain.run(task)
+        assert r0.validation is None
+        checking = ExperimentExecutor(cache=cache, validate=True)
+        r1 = checking.run(task)
+        assert r1.validation is not None
+        assert r1.validation["violations"] == []
+        assert sum(r1.validation["checks"].values()) > 0
+        # virtual-time results are identical with the oracle on
+        assert r1.elapsed_total == r0.elapsed_total
+        # and the validated result was cached under its own key
+        r2 = checking.run(task)
+        assert r2.validation is not None
+        assert checking.cache.hits >= 1
+
+    def test_from_env_reads_repro_validate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VALIDATE", "1")
+        assert ExperimentExecutor.from_env(cache=False).validate is True
+        monkeypatch.setenv("REPRO_VALIDATE", "0")
+        assert ExperimentExecutor.from_env(cache=False).validate is False
+
+    def test_run_result_carries_validation_report(self):
+        res = tile_task(validate=True, protocol="parcoll",
+                        parcoll_ngroups=4).run()
+        assert res.validation is not None
+        checks = res.validation["checks"]
+        for name in ("fa_partition", "aggregator_distribution",
+                     "exchange_plan", "file_oracle_extents"):
+            assert checks.get(name, 0) >= 1, name
