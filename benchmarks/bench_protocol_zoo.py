@@ -1,0 +1,90 @@
+"""The protocol-zoo leaderboard: race every registered collective protocol.
+
+Runs :func:`repro.analysis.protocol_zoo.protocol_zoo` — every registered
+protocol against every workload pattern (tile, IOR, Flash, BT-IO), with
+``parcoll`` and ``nodeagg``+FA golden-section tuned — and commits the
+leaderboard plus the advisor's per-pattern picks.
+
+Claims under test (sanity of the zoo, not the paper):
+
+* every (pattern, protocol) cell completes and reports positive write
+  bandwidth — the registry seam runs every protocol on every pattern;
+* on every pattern, some collective protocol beats ``independent``
+  (collective aggregation earns its complexity);
+* the advisor's pick per pattern is a genuine argmax of the raced cells.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_protocol_zoo.py [--smoke]
+
+``--smoke`` shrinks the race (8 procs, 3 golden-section evals) for CI.
+Results land in ``BENCH_protocol_zoo.json`` at the repo root; exit
+status 1 if a claim fails.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+
+from _common import executor, scale
+
+from repro.analysis.protocol_zoo import protocol_zoo
+from repro.mpiio.protocols import available_protocols
+
+OUT = (pathlib.Path(__file__).resolve().parent.parent
+       / "BENCH_protocol_zoo.json")
+
+
+def main(smoke: bool = False) -> int:
+    if smoke:
+        nprocs, max_evals, run_scale = 16, 3, "small"
+    elif scale() == "paper":
+        nprocs, max_evals, run_scale = 64, 8, "paper"
+    else:
+        nprocs, max_evals, run_scale = 16, 6, "small"
+
+    board = protocol_zoo(nprocs=nprocs, scale=run_scale,
+                         max_evals=max_evals, executor=executor())
+    print(board.summary())
+
+    problems: list[str] = []
+    for e in board.entries:
+        if e.write_mb_s <= 0:
+            problems.append(f"{e.pattern}/{e.label}: no write bandwidth")
+    for pattern, pick in board.picks.items():
+        cells = board.pattern_entries(pattern)
+        best = max(c.write_mb_s for c in cells)
+        if pick.write_mb_s < best:
+            problems.append(f"{pattern}: pick {pick.label} is not argmax")
+        indep = next((c for c in cells if c.label == "independent"), None)
+        if indep is not None and pick.write_mb_s <= indep.write_mb_s:
+            problems.append(
+                f"{pattern}: no collective protocol beats independent")
+    ok = not problems
+    for p in problems:
+        print(f"FAIL: {p}", file=sys.stderr)
+
+    out = {
+        "benchmark": "protocol_zoo",
+        "python": platform.python_version(),
+        "scale": run_scale,
+        "smoke": smoke,
+        "nprocs": nprocs,
+        "protocols": list(available_protocols()),
+        "leaderboard": board.to_dict(),
+        "advisor": {p: {"protocol": e.protocol, "label": e.label,
+                        "hints": dict(e.hints),
+                        "write_mb_s": round(e.write_mb_s, 3)}
+                    for p, e in board.picks.items()},
+        "claims_ok": ok,
+    }
+    OUT.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"\nwrote {OUT}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(smoke="--smoke" in sys.argv[1:]))

@@ -12,7 +12,10 @@ Tools a user pointed at a finished run (or a planned one) reaches for:
   machine with micro-benchmarks;
 * :mod:`repro.analysis.faults` — probe every fault class at its
   representative severity and compare per-protocol damage (wall loss,
-  blast radius, retry cost).
+  blast radius, retry cost);
+* :mod:`repro.analysis.protocol_zoo` — race every registered collective
+  protocol across the workload patterns and advise the best
+  protocol/hints per pattern (tunable protocols golden-section tuned).
 """
 
 from repro.analysis.breakdown import BreakdownSeries, wall_diagnosis
@@ -20,6 +23,8 @@ from repro.analysis.coverage import CoverageReport, check_coverage
 from repro.analysis.calibration import PlatformCalibration, calibrate
 from repro.analysis.faults import (FaultImpact, FaultImpactReport,
                                    fault_impact)
+from repro.analysis.protocol_zoo import (ZooEntry, ZooLeaderboard,
+                                         protocol_zoo, zoo_patterns)
 from repro.analysis.timeline import (OstLoadSummary, burstiness, ost_load,
                                      utilization_curve)
 
@@ -37,4 +42,8 @@ __all__ = [
     "ost_load",
     "utilization_curve",
     "burstiness",
+    "ZooEntry",
+    "ZooLeaderboard",
+    "protocol_zoo",
+    "zoo_patterns",
 ]

@@ -41,6 +41,10 @@ class ExperimentConfig:
     cores_per_node: int = 2
     mapping: str = "block"
     collective_mode: str = "analytic"
+    #: collective-I/O protocol spec (:mod:`repro.mpiio.protocols`) used as
+    #: the platform-wide default for files opened without an explicit
+    #: ``protocol`` hint; None keeps the library default ('ext2ph')
+    protocol: Optional[str] = None
     use_torus: bool = False
     net: dict = field(default_factory=dict)
     lustre: dict = field(default_factory=dict)
@@ -73,8 +77,11 @@ class ExperimentConfig:
                       faults=injector, retry=retry)
         if injector is not None:
             injector.validate_platform(fs.params.n_osts, machine.nnodes)
+        default_hints = ({"protocol": self.protocol}
+                         if self.protocol is not None else None)
         return world, fs, MPIIO(world, fs,
-                                validate=True if self.validate else None)
+                                validate=True if self.validate else None,
+                                default_hints=default_hints)
 
 
 @dataclass

@@ -159,3 +159,25 @@ class Sweep:
         rows = [[pt.value] + [fn(pt) for fn in columns.values()]
                 for pt in self.run(values)]
         return format_table([self.name] + list(columns), rows)
+
+
+def protocol_sweep(name: str, config: ExperimentConfig, workload: str,
+                   workload_config: Any,
+                   executor: Optional["ExperimentExecutor"] = None) -> Sweep:
+    """A sweep whose axis is the collective-I/O protocol spec.
+
+    Each axis value (``'ext2ph'``, ``'parcoll'``, ``'listio:16'``, ...)
+    becomes the platform default protocol of an otherwise identical
+    :class:`~repro.harness.parallel.ExperimentTask` — the protocol-zoo
+    race in sweep form, reusing the memo/executor machinery (including
+    :meth:`Sweep.best` for the advisor's pick).
+    """
+    from dataclasses import replace
+
+    from repro.harness.parallel import ExperimentTask
+
+    def task(spec: str) -> "ExperimentTask":
+        return ExperimentTask(replace(config, protocol=spec), workload,
+                              workload_config)
+
+    return Sweep(name=name, task=task, executor=executor)

@@ -6,13 +6,15 @@ offsets are in *etype units* (MPI semantics); data buffers are dense
 ``uint8`` arrays matching the view's data order, or ``None`` with an
 explicit ``nbytes`` in model mode.
 
-``*_all`` operations dispatch on the ``protocol`` hint:
-
-* ``ext2ph`` — the extended two-phase engine over the whole communicator
-  (the paper's baseline);
-* ``parcoll`` — partitioned collective I/O (:mod:`repro.parcoll`);
-* ``independent`` — every rank writes directly (no aggregation), the
-  paper's "w/o Coll" configuration.
+``*_all`` operations resolve the ``protocol`` hint through the
+:mod:`repro.mpiio.protocols` registry and delegate — the file layer holds
+no strategy logic of its own.  Builtins: ``ext2ph`` (the paper's
+baseline), ``parcoll`` (partitioned collective I/O), ``independent``
+(the paper's "w/o Coll" configuration), ``nodeagg`` (intra-node request
+aggregation) and ``listio`` (direct list I/O).  All ranks of one
+collective call must resolve the same protocol; divergence raises
+:class:`~repro.errors.ParCollError` (the same symmetry contract the
+collective backends enforce).
 
 On close, every rank's per-category times since open are gathered to rank
 0 — the run summary the paper's profiling reports at file close.
@@ -20,29 +22,53 @@ On close, every rank's per-category times since open are gathered to rank
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Mapping, Optional
 
 import numpy as np
 
 from repro.datatypes.base import BYTE, Datatype
-from repro.errors import MPIIOError
+from repro.errors import MPIIOError, ParCollError
 from repro.lustre.fs import LustreFS
 from repro.mpiio.fileview import FileView
 from repro.mpiio.hints import IOHints
 from repro.mpiio.independent import independent_read, independent_write
-from repro.mpiio.two_phase import IOEnv, collective_read, collective_write
+from repro.mpiio.protocols import available_protocols, resolve_protocol
+from repro.mpiio.two_phase import IOEnv
 from repro.simmpi.world import Communicator, World
+
+#: hints whose change invalidates cached per-protocol shared state:
+#: the protocol itself, plus everything a cached grouping / aggregator
+#: placement / leader split was derived from
+_STATE_HINTS = ("protocol", "parcoll_ngroups", "parcoll_intermediate_views",
+                "parcoll_data_path", "parcoll_replan", "cb_nodes",
+                "cb_config_ranks", "cb_buffer_size", "align_file_domains")
 
 
 class _SharedFile:
     """State shared by all ranks holding one (communicator, file) pair."""
 
-    __slots__ = ("lfile", "parcoll_cache")
+    __slots__ = ("lfile", "protocol_state", "protocol_ops")
 
     def __init__(self, lfile):
         self.lfile = lfile
-        #: ParColl subgroup communicators cached across calls
-        self.parcoll_cache: dict = {}
+        #: per-protocol shared-state slots, keyed by protocol name
+        #: (cached subgroup communicators, partition plans, leader comms)
+        self.protocol_state: dict[str, dict] = {}
+        #: per-collective-op protocol ledger for the symmetry check
+        self.protocol_ops: dict[int, list] = {}
+
+    def state_for(self, name: str) -> dict:
+        """This protocol's private shared-state slot (created on demand)."""
+        return self.protocol_state.setdefault(name, {})
+
+    def invalidate_state(self) -> None:
+        """Drop every protocol's cached shared state (hints changed)."""
+        self.protocol_state.clear()
+
+    @property
+    def parcoll_cache(self) -> dict:
+        """ParColl's state slot (kept under its historical name)."""
+        return self.state_for("parcoll")
 
 
 class MPIIO:
@@ -56,9 +82,14 @@ class MPIIO:
     """
 
     def __init__(self, world: World, fs: LustreFS,
-                 validate: Optional[bool] = None):
+                 validate: Optional[bool] = None,
+                 default_hints: Optional[Mapping[str, Any]] = None):
         self.world = world
         self.fs = fs
+        #: hint defaults applied under every dict/None ``open`` (explicit
+        #: IOHints instances bypass them); how ExperimentConfig threads a
+        #: platform-wide protocol choice through to workloads
+        self.default_hints = dict(default_hints) if default_hints else None
         self._shared: dict[tuple, _SharedFile] = {}
         if validate is None:
             from repro.validate import env_validate_enabled
@@ -91,9 +122,10 @@ class MPIIO:
              stripe_size: Optional[int] = None
              ) -> Generator[Any, Any, "MPIFile"]:
         """Collective open: every rank of ``comm`` must call."""
-        if isinstance(hints, dict):
-            hints = IOHints.from_dict(hints)
-        hints = hints or IOHints()
+        if hints is None or isinstance(hints, dict):
+            merged = dict(self.default_hints or {})
+            merged.update(hints or {})
+            hints = IOHints.from_dict(merged)
         t0 = comm.now
         lfile = yield from self.fs.open(name, create=True,
                                         stripe_count=stripe_count,
@@ -118,8 +150,10 @@ class MPIFile:
         self.shared = shared
         self.hints = hints
         self.comm = self._hinted_comm()
+        self._protocol = resolve_protocol(hints.protocol)
         self.view = FileView(0, BYTE, BYTE)
         self._fp = 0  # individual file pointer, in etype units
+        self._coll_seq = 0  # collective-op counter (protocol symmetry)
         self._open_snapshot = comm.proc.breakdown.snapshot()
         self._closed = False
         #: active correctness oracle for this file (None = off)
@@ -166,12 +200,58 @@ class MPIFile:
         self._fp = 0
 
     def set_hints(self, **kwargs: Any) -> None:
-        """Adjust hints on an open file (e.g. switch protocol per phase)."""
-        self.hints = self.hints.with_(**kwargs)
+        """Adjust hints on an open file (e.g. switch protocol per phase).
+
+        Like ``MPI_File_set_info`` this is called symmetrically on every
+        rank.  Changing the protocol or any hint a cached grouping was
+        derived from (:data:`_STATE_HINTS`) drops the per-protocol shared
+        state: a ParColl partition plan or a nodeagg leader communicator
+        cached under the old hints must not leak into the new epoch.
+        """
+        old = self.hints
+        self.hints = old.with_(**kwargs)
         if "collective_mode" in kwargs:
             self.comm = self._hinted_comm()
         if "parcoll_validate" in kwargs:
             self._validator = self.io._hint_validator(self.hints)
+        self._protocol = resolve_protocol(self.hints.protocol)
+        if any(getattr(old, h) != getattr(self.hints, h)
+               for h in _STATE_HINTS):
+            self.shared.invalidate_state()
+
+    def set_info(self, info: Mapping[str, Any]) -> None:
+        """MPI_File_set_info analog: apply a hint mapping to an open file."""
+        self.set_hints(**dict(info))
+
+    def _dispatch(self):
+        """The (protocol, shared-state slot) for one collective op.
+
+        Mirrors the backend fidelity-symmetry check: each rank logs the
+        protocol it resolved for its n-th collective op in a shared
+        ledger; the first divergence raises :class:`ParCollError` on the
+        rank that exposes it.  Entries clear once every rank arrived, so
+        the ledger stays O(in-flight ops).
+        """
+        proto = self._protocol
+        spec = proto.describe()
+        ledger = self.shared.protocol_ops
+        self._coll_seq += 1
+        entry = ledger.get(self._coll_seq)
+        if entry is None:
+            entry = [spec, self.comm.rank, 0]
+            ledger[self._coll_seq] = entry
+        elif entry[0] != spec:
+            raise ParCollError(
+                f"collective protocol mismatch on {self.lfile.name!r} "
+                f"op #{self._coll_seq}: rank {self.comm.rank} uses "
+                f"{spec!r} but rank {entry[1]} used {entry[0]!r}; all "
+                f"ranks must resolve the same protocol (registered: "
+                f"{', '.join(available_protocols())})"
+            )
+        entry[2] += 1
+        if entry[2] == self.comm.size:
+            del ledger[self._coll_seq]
+        return proto, self.shared.state_for(proto.name)
 
     def _check_open(self) -> None:
         if self._closed:
@@ -215,16 +295,9 @@ class MPIFile:
         env = self._env()
         if self._validator is not None:
             self._validator.record_write(self.lfile, segs, payload)
-        if self.hints.protocol == "independent":
-            written = yield from independent_write(env, segs, payload)
-        elif self.hints.protocol == "parcoll":
-            from repro.parcoll.driver import parcoll_write
-
-            written = yield from parcoll_write(env, segs, payload,
-                                               self.shared.parcoll_cache,
-                                               self.view)
-        else:
-            written = yield from collective_write(env, segs, payload)
+        proto, state = self._dispatch()
+        written = yield from proto.write_all(env, segs, payload, state,
+                                             self.view)
         if self._validator is not None:
             self._validator.after_collective_write(self.lfile, self.comm.size)
         return written
@@ -235,16 +308,8 @@ class MPIFile:
         self._check_open()
         segs = self._access(offset_et, nbytes)
         env = self._env()
-        if self.hints.protocol == "independent":
-            out = yield from independent_read(env, segs)
-        elif self.hints.protocol == "parcoll":
-            from repro.parcoll.driver import parcoll_read
-
-            out = yield from parcoll_read(env, segs,
-                                          self.shared.parcoll_cache,
-                                          self.view)
-        else:
-            out = yield from collective_read(env, segs)
+        proto, state = self._dispatch()
+        out = yield from proto.read_all(env, segs, state, self.view)
         if self._validator is not None:
             self._validator.check_read(self.lfile, segs, out)
         return out
@@ -295,8 +360,13 @@ class MPIFile:
         if data_sieving:
             from repro.mpiio.data_sieving import sieved_write
 
-            return (yield from sieved_write(self._env(), segs, payload))
-        return (yield from independent_write(self._env(), segs, payload))
+            written = yield from sieved_write(self._env(), segs, payload)
+        else:
+            written = yield from independent_write(self._env(), segs,
+                                                   payload)
+        if self._validator is not None:
+            self._validator.after_write(self.lfile)
+        return written
 
     def read_at(self, offset_et: int, nbytes: int, data_sieving: bool = False
                 ) -> Generator[Any, Any, Optional[np.ndarray]]:

@@ -12,9 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Optional
 
-from repro.errors import MPIError, MPIIOError
-
-VALID_PROTOCOLS = ("ext2ph", "parcoll", "independent")
+from repro.errors import MPIError, MPIIOError, ParCollError
 
 
 @dataclass(frozen=True)
@@ -27,8 +25,13 @@ class IOHints:
     cb_nodes: Optional[int] = None
     #: explicit aggregator ranks (communicator ranks); overrides cb_nodes
     cb_config_ranks: Optional[tuple[int, ...]] = None
-    #: collective protocol used by *_all operations
+    #: collective protocol used by *_all operations; any spec registered
+    #: in :mod:`repro.mpiio.protocols` (e.g. 'ext2ph', 'parcoll',
+    #: 'independent', 'nodeagg', 'listio', 'listio:<max_segments>')
     protocol: str = "ext2ph"
+    #: list I/O: extents per file-system request (the fixed accessor-array
+    #: size of a real list-I/O API); only the 'listio' protocol reads it
+    listio_max_segments: int = 64
     #: ParColl: number of subgroups (file areas); 1 degenerates to ext2ph
     parcoll_ngroups: int = 1
     #: ParColl: allow switching to an intermediate file view (pattern (c))
@@ -94,10 +97,14 @@ class IOHints:
                 raise MPIIOError(str(exc)) from exc
         if self.cb_nodes is not None and self.cb_nodes <= 0:
             raise MPIIOError("cb_nodes must be positive")
-        if self.protocol not in VALID_PROTOCOLS:
-            raise MPIIOError(
-                f"unknown protocol {self.protocol!r}; expected {VALID_PROTOCOLS}"
-            )
+        from repro.mpiio.protocols import resolve_protocol
+
+        try:
+            resolve_protocol(self.protocol)
+        except ParCollError as exc:
+            raise MPIIOError(str(exc)) from exc
+        if self.listio_max_segments <= 0:
+            raise MPIIOError("listio_max_segments must be positive")
         if self.parcoll_ngroups <= 0:
             raise MPIIOError("parcoll_ngroups must be positive")
         if self.parcoll_data_path not in ("physical", "logical"):

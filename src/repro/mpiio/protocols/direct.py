@@ -1,0 +1,34 @@
+"""The ``independent`` protocol: no coordination, no aggregation.
+
+A thin registry adapter over :mod:`repro.mpiio.independent` — every rank
+translates its own view access and issues the file-system operation
+itself (the paper's "Cray w/o Coll" configuration).  Delegating keeps the
+event sequence identical to the pre-registry dispatch, which the
+``ref_hotpath.json`` determinism gate pins down.
+"""
+
+from __future__ import annotations
+
+from repro.mpiio.independent import independent_read, independent_write
+from repro.mpiio.protocols import (CollectiveProtocol, _reject_options,
+                                   register_protocol)
+
+
+class IndependentProtocol(CollectiveProtocol):
+    """Every rank writes/reads directly; collective in name only."""
+
+    name = "independent"
+
+    def write_all(self, env, segs, data, state, view):
+        return independent_write(env, segs, data)
+
+    def read_all(self, env, segs, state, view):
+        return independent_read(env, segs)
+
+    @classmethod
+    def from_spec(cls, options: str) -> "IndependentProtocol":
+        _reject_options(cls.name, options)
+        return cls()
+
+
+register_protocol(IndependentProtocol.name, IndependentProtocol.from_spec)

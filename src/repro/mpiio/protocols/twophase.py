@@ -1,0 +1,33 @@
+"""The ``ext2ph`` protocol: extended two-phase over the full communicator.
+
+A thin registry adapter over :mod:`repro.mpiio.two_phase` — the paper's
+baseline and the engine ParColl reuses per subgroup.  Delegating keeps
+the event sequence identical to the pre-registry dispatch, which the
+``ref_hotpath.json`` determinism gate pins down.
+"""
+
+from __future__ import annotations
+
+from repro.mpiio.protocols import (CollectiveProtocol, _reject_options,
+                                   register_protocol)
+from repro.mpiio.two_phase import collective_read, collective_write
+
+
+class Ext2PhProtocol(CollectiveProtocol):
+    """ROMIO-style extended two-phase collective I/O (Section 2.2)."""
+
+    name = "ext2ph"
+
+    def write_all(self, env, segs, data, state, view):
+        return collective_write(env, segs, data)
+
+    def read_all(self, env, segs, state, view):
+        return collective_read(env, segs)
+
+    @classmethod
+    def from_spec(cls, options: str) -> "Ext2PhProtocol":
+        _reject_options(cls.name, options)
+        return cls()
+
+
+register_protocol(Ext2PhProtocol.name, Ext2PhProtocol.from_spec)

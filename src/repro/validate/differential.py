@@ -1,15 +1,19 @@
 """The seeded differential harness: protocols x backends vs the oracle.
 
 One :class:`DiffCase` is a randomly drawn but fully reproducible
-configuration — an access pattern from the paper's Figure 4 families,
-Lustre striping, a ParColl grouping, a collective-fidelity backend, and
-(sometimes) a fault plan.  :func:`run_case` executes it as a small
-verified-mode simulation per protocol/backend combination and asserts:
+configuration — an access pattern from the paper's Figure 4 families (or
+a ``btio``/``flash_io`` workload program), Lustre striping, a ParColl
+grouping, a collective-fidelity backend, and (sometimes) a fault plan.
+:func:`run_case` executes it as a small verified-mode simulation per
+protocol/backend combination — every protocol registered in
+:mod:`repro.mpiio.protocols` races — and asserts:
 
 * every combination produces **byte-identical file contents** against
-  :func:`~repro.validate.oracle.sequential_golden` (the runtime
-  :class:`~repro.validate.Validator` is live too, so all invariant
-  checks and the read-back oracle run for free);
+  :func:`~repro.validate.oracle.sequential_golden` (synthetic patterns)
+  or against each other (workload programs, whose runs the byte-level
+  shadow oracle already checks individually; the runtime
+  :class:`~repro.validate.Validator` is live in every combination, so
+  all invariant checks and the read-back oracle run for free);
 * virtual-time metrics are **replay-deterministic**: running the same
   combination twice yields the same elapsed time, message count, and
   per-category breakdown.
@@ -31,7 +35,7 @@ import numpy as np
 from repro.cluster import MachineConfig, NetworkParams
 from repro.datatypes import BYTE
 from repro.lustre import LustreFS, LustreParams
-from repro.mpiio import MPIIO
+from repro.mpiio import MPIIO, available_protocols
 from repro.simmpi import World
 from repro.validate.oracle import OracleDiff, sequential_golden
 from repro.workloads.base import deterministic_bytes
@@ -51,6 +55,9 @@ BACKENDS = (
 #: plus seeded random disjoint sets
 PATTERNS = ("serial", "tiled", "interleaved", "random")
 
+#: case sources: synthetic patterns plus the paper's workload programs
+WORKLOADS = ("synthetic", "btio", "flash_io")
+
 
 @dataclass(frozen=True)
 class DiffCase:
@@ -69,6 +76,11 @@ class DiffCase:
     backend: str
     #: FaultPlan.to_dict() mapping, or None for a fault-free platform
     faults: Optional[dict] = None
+    #: case source: 'synthetic' runs a Figure 4 pattern (``pattern`` et
+    #: al. apply); 'btio'/'flash_io' run the workload program (``pattern``
+    #: and ``piece_bytes`` are labels only, ``nprocs`` must be square for
+    #: btio)
+    workload: str = "synthetic"
 
     def synthetic(self) -> SyntheticConfig:
         return SyntheticConfig(pattern=self.pattern, nprocs=self.nprocs,
@@ -86,7 +98,10 @@ def generate_cases(n: int, seed: int = 0) -> list[DiffCase]:
     ``n`` covers all of (a)/(b)/(c)/random and every backend; the other
     dimensions are sampled.  Roughly one case in five carries a fault
     plan (a straggling OST, a slow node, or lost RPCs under a generous
-    retry budget) — faults must never change file bytes.
+    retry budget) — faults must never change file bytes.  One case in
+    five runs a workload program instead of a synthetic pattern (BT-IO's
+    diagonal multi-partitioning, Flash's checkpoint), so the fleet also
+    exercises derived-datatype views and multi-dataset files.
     """
     rng = np.random.Generator(np.random.PCG64(seed))
     cases = []
@@ -109,9 +124,18 @@ def generate_cases(n: int, seed: int = 0) -> list[DiffCase]:
                 "kind": "flaky_rpc", "ost": int(rng.integers(n_osts)),
                 "prob": float(np.round(rng.uniform(0.02, 0.12), 3)),
                 "start": 0.0, "end": None}]}
+        workload = "synthetic"
+        if i % 10 == 4:
+            workload = "btio"
+        elif i % 10 == 9:
+            workload = "flash_io"
+        nprocs = int(rng.choice([2, 4, 6, 8]))
+        if workload == "btio":
+            nprocs = int(rng.choice([4, 9]))  # BT needs a square count
         cases.append(DiffCase(
+            workload=workload,
             pattern=PATTERNS[i % len(PATTERNS)],
-            nprocs=int(rng.choice([2, 4, 6, 8])),
+            nprocs=nprocs,
             bytes_per_rank=int(rng.choice([256, 1024, 2048, 4096])),
             piece_bytes=int(rng.choice([64, 128, 256])),
             seed=int(rng.integers(0, 100_000)),
@@ -139,6 +163,38 @@ def golden_bytes(cfg: SyntheticConfig) -> np.ndarray:
     return sequential_golden(file_bytes_total(cfg), writes)
 
 
+def _case_program(case: DiffCase, hints: dict, io: MPIIO):
+    """``(program(comm), checked_file_name)`` for one case's workload."""
+    if case.workload == "btio":
+        from repro.workloads.btio import BTIOConfig, btio_program
+
+        q = BTIOConfig.q_of(case.nprocs)
+        cfg = BTIOConfig(grid_points=q * 2, nsteps=2, verify_read=True,
+                         seed=case.seed, filename="diff", hints=hints)
+        return (lambda comm: btio_program(cfg, comm, io)), "diff"
+    if case.workload == "flash_io":
+        from repro.workloads.flash_io import FlashIOConfig, flash_io_program
+
+        cfg = FlashIOConfig(nxb=2, nyb=2, nzb=2, blocks_per_proc=2,
+                            nvars=2, filename="diff", hints=hints)
+        return (lambda comm: flash_io_program(cfg, comm, io)), "diff_chk"
+    syn = case.synthetic()
+
+    def program(comm):
+        ft = filetype_for(syn, comm.rank)
+        disp = (rank_offsets_for_interleaved(syn, comm.rank)
+                if syn.pattern == "interleaved" else 0)
+        f = yield from io.open(comm, "diff", hints=hints)
+        f.set_view(disp, BYTE, ft)
+        data = deterministic_bytes(comm.rank, ft.size)
+        yield from f.write_at_all(0, data)
+        got = yield from f.read_at_all(0, ft.size)
+        yield from f.close()
+        return got
+
+    return program, "diff"
+
+
 def _run_combo(case: DiffCase, hints: dict) -> dict[str, Any]:
     """One verified-mode simulation of ``case`` under ``hints``.
 
@@ -148,12 +204,11 @@ def _run_combo(case: DiffCase, hints: dict) -> dict[str, Any]:
     """
     from repro.faults import FaultInjector, FaultPlan
 
-    cfg = case.synthetic()
     injector = None
     plan = FaultPlan.coerce(case.faults)
     if not plan.is_empty:
         injector = FaultInjector(plan, seed=case.seed)
-    machine = MachineConfig(nprocs=cfg.nprocs, cores_per_node=2)
+    machine = MachineConfig(nprocs=case.nprocs, cores_per_node=2)
     world = World(machine, net_params=NetworkParams(), faults=injector)
     fs = LustreFS(world.engine,
                   LustreParams(n_osts=case.n_osts,
@@ -167,23 +222,14 @@ def _run_combo(case: DiffCase, hints: dict) -> dict[str, Any]:
     if any(plan.has_flaky(ost) for ost in range(case.n_osts)):
         # lost RPCs must never exhaust the retry budget in a gate run
         hints = {**hints, "retry_max_attempts": 12}
-
-    def program(comm, _io):
-        ft = filetype_for(cfg, comm.rank)
-        disp = (rank_offsets_for_interleaved(cfg, comm.rank)
-                if cfg.pattern == "interleaved" else 0)
-        f = yield from io.open(comm, "diff", hints=hints)
-        f.set_view(disp, BYTE, ft)
-        data = deterministic_bytes(comm.rank, ft.size)
-        yield from f.write_at_all(0, data)
-        got = yield from f.read_at_all(0, ft.size)
-        yield from f.close()
-        return got
-
-    world.launch(lambda comm: program(comm, io))
-    raw = fs.lookup("diff").contents()
-    full = np.zeros(file_bytes_total(cfg), dtype=np.uint8)
-    full[: raw.size] = raw
+    program, fname = _case_program(case, hints, io)
+    world.launch(program)
+    raw = fs.lookup(fname).contents()
+    if case.workload == "synthetic":
+        full = np.zeros(file_bytes_total(case.synthetic()), dtype=np.uint8)
+        full[: raw.size] = raw
+    else:
+        full = raw
     return {
         "bytes": full,
         "elapsed": world.engine.now,
@@ -196,6 +242,11 @@ def _run_combo(case: DiffCase, hints: dict) -> dict[str, Any]:
 
 def _byte_diff(name: str, expected: np.ndarray,
                got: np.ndarray) -> Optional[OracleDiff]:
+    if expected.size != got.size:
+        # workload combos must agree on the written length too
+        n = max(expected.size, got.size)
+        expected = np.pad(expected, (0, n - expected.size))
+        got = np.pad(got, (0, n - got.size))
     bad = np.flatnonzero(expected != got)
     if bad.size == 0:
         return None
@@ -207,21 +258,46 @@ def _byte_diff(name: str, expected: np.ndarray,
                       got=got[lo:hi].tolist())
 
 
+def protocol_combos(case: DiffCase) -> list[tuple[str, dict]]:
+    """The (label, hints) grid one case races.
+
+    Every protocol registered in :mod:`repro.mpiio.protocols` runs on the
+    analytic backend; the protocols that actually communicate (parcoll,
+    nodeagg) additionally run on the case's drawn backend, and nodeagg
+    runs once more composed with FA partitioning — the full protocol
+    cross-product a new registration joins automatically.
+    """
+    parcoll_hints = {"protocol": "parcoll", "parcoll_ngroups": case.ngroups,
+                     "parcoll_data_path": case.data_path}
+    special = {
+        "parcoll": parcoll_hints,
+        "listio": {"protocol": "listio", "listio_max_segments": 8},
+    }
+    combos = []
+    for name in available_protocols():
+        hints = dict(special.get(name, {"protocol": name}))
+        combos.append((f"{name}@analytic", hints))
+        if name in ("parcoll", "nodeagg") and case.backend != "analytic":
+            combos.append((f"{name}@{case.backend}",
+                           {**hints, "collective_mode": case.backend}))
+    combos.append(("nodeagg+fa@analytic",
+                   {"protocol": "nodeagg",
+                    "parcoll_ngroups": max(2, case.ngroups)}))
+    return combos
+
+
 def run_case(case: DiffCase) -> dict[str, Any]:
     """Run every protocol/backend combination of one case.
 
     Returns ``{"case", "ok", "checks", "failures"}`` where failures
     carry enough context (combo label, diff/exception) to replay.
+    Synthetic cases diff every combo against the sequential golden;
+    workload cases diff combos against the first combo's bytes (each run
+    is already byte-checked by its own shadow oracle).
     """
-    golden = golden_bytes(case.synthetic())
-    parcoll_hints = {"protocol": "parcoll", "parcoll_ngroups": case.ngroups,
-                     "parcoll_data_path": case.data_path}
-    combos = [
-        ("ext2ph@analytic", {"protocol": "ext2ph"}),
-        ("parcoll@analytic", dict(parcoll_hints)),
-        (f"parcoll@{case.backend}",
-         {**parcoll_hints, "collective_mode": case.backend}),
-    ]
+    golden = (golden_bytes(case.synthetic())
+              if case.workload == "synthetic" else None)
+    combos = protocol_combos(case)
     failures: list[dict[str, Any]] = []
     checks = 0
     replay_probe = None
@@ -232,6 +308,8 @@ def run_case(case: DiffCase) -> dict[str, Any]:
             failures.append({"combo": label, "error": f"{type(exc).__name__}: {exc}"})
             continue
         checks += out["checks"]
+        if golden is None:
+            golden = out["bytes"]
         diff = _byte_diff(label, golden, out["bytes"])
         if diff is not None:
             failures.append({"combo": label, "diff": diff.to_dict()})

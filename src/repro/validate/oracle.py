@@ -114,6 +114,9 @@ class ShadowFile:
         self._lens: list[int] = []
         #: writes recorded (for report counting)
         self.writes = 0
+        #: total bytes recorded, counting overlap multiplicity; differs
+        #: from ``covered_bytes`` once any write rewrote covered bytes
+        self.total_recorded = 0
         #: False once a write legitimately touched bytes outside its
         #: recorded segments (data sieving's read-modify-write windows);
         #: the model-mode extent oracle is then advisory only
@@ -156,6 +159,7 @@ class ShadowFile:
                     pos += l
         self._offs.extend(offs.tolist())
         self._lens.extend(lens.tolist())
+        self.total_recorded += total
         if total:
             self.size = max(self.size, int(offs[-1] + lens[-1]))
 
@@ -170,6 +174,11 @@ class ShadowFile:
         """Coalesced extents every recorded write covered."""
         return coalesce(np.array(self._offs, dtype=np.int64),
                         np.array(self._lens, dtype=np.int64))
+
+    @property
+    def covered_bytes(self) -> int:
+        """Distinct bytes the recorded writes cover (coalesced measure)."""
+        return int(self.extents[1].sum())
 
     def expected_read(self, segs: Segments) -> np.ndarray:
         """The dense bytes a correct read of ``segs`` must return."""

@@ -42,7 +42,7 @@ def backend_modes() -> st.SearchStrategy[str]:
 
 
 def protocol_hints() -> st.SearchStrategy[dict]:
-    """Hint dicts spanning independent, ext2ph, and ParColl variants."""
+    """Hint dicts spanning every registered collective protocol."""
     parcoll = st.fixed_dictionaries({
         "protocol": st.just("parcoll"),
         "parcoll_ngroups": st.sampled_from([2, 3, 4, 8]),
@@ -52,7 +52,16 @@ def protocol_hints() -> st.SearchStrategy[dict]:
         "protocol": st.just("ext2ph"),
         "cb_buffer_size": st.sampled_from([512, 4 << 20]),
     })
-    return st.one_of(st.just({"protocol": "independent"}), ext2ph, parcoll)
+    nodeagg = st.fixed_dictionaries({
+        "protocol": st.just("nodeagg"),
+        "parcoll_ngroups": st.sampled_from([1, 2, 4]),
+    })
+    listio = st.fixed_dictionaries({
+        "protocol": st.sampled_from(["listio", "listio:16"]),
+        "listio_max_segments": st.sampled_from([2, 8, 64]),
+    })
+    return st.one_of(st.just({"protocol": "independent"}), ext2ph, parcoll,
+                     nodeagg, listio)
 
 
 def fault_plans() -> st.SearchStrategy[FaultPlan]:
@@ -68,12 +77,20 @@ def fault_plans() -> st.SearchStrategy[FaultPlan]:
     )
 
 
-def diff_cases() -> st.SearchStrategy[DiffCase]:
-    """Full differential-harness cases (see :func:`run_case`)."""
+def diff_cases(workload: str = "synthetic") -> st.SearchStrategy[DiffCase]:
+    """Full differential-harness cases (see :func:`run_case`).
+
+    ``workload`` selects the case source: ``'synthetic'`` (default)
+    draws Figure 4 patterns, ``'btio'``/``'flash_io'`` run the workload
+    program (btio cases pin a square process count).
+    """
     def build(cfg: SyntheticConfig, stripes: dict, backend: str,
-              ngroups: int, data_path: str, plan: FaultPlan) -> DiffCase:
+              ngroups: int, data_path: str, plan: FaultPlan,
+              nprocs_sq: int) -> DiffCase:
         return DiffCase(
-            pattern=cfg.pattern, nprocs=cfg.nprocs,
+            workload=workload,
+            pattern=cfg.pattern,
+            nprocs=nprocs_sq if workload == "btio" else cfg.nprocs,
             bytes_per_rank=cfg.bytes_per_rank,
             piece_bytes=cfg.piece_bytes, seed=cfg.seed,
             stripe_size=stripes["stripe_size"],
@@ -91,4 +108,12 @@ def diff_cases() -> st.SearchStrategy[DiffCase]:
         ngroups=st.sampled_from([2, 3, 4, 8]),
         data_path=st.sampled_from(["physical", "logical"]),
         plan=fault_plans(),
+        nprocs_sq=st.sampled_from([4, 9]),
     )
+
+
+def workload_cases() -> st.SearchStrategy[DiffCase]:
+    """BT-IO and Flash I/O differential cases (the PR 5 leftover):
+    derived-datatype views and multi-dataset checkpoints through the same
+    protocol-racing harness as the synthetic patterns."""
+    return st.sampled_from(["btio", "flash_io"]).flatmap(diff_cases)

@@ -81,7 +81,8 @@ class Validator:
     def __init__(self) -> None:
         self.report = ValidationReport()
         self._shadows: dict[str, ShadowFile] = {}
-        #: per-file completion counter for collective-write epochs
+        #: per-file counters of recorded writes started / completed
+        self._write_started: Counter = Counter()
         self._write_done: Counter = Counter()
 
     # ------------------------------------------------------------------
@@ -97,17 +98,41 @@ class Validator:
     def record_write(self, lfile, segs: Segments,
                      data: Optional[np.ndarray]) -> None:
         """Register one rank's contribution before the protocol runs."""
+        self._write_started[lfile.name] += 1
         self.shadow(lfile.name, lfile.store is not None).record(segs, data)
 
-    def after_collective_write(self, lfile, comm_size: int) -> None:
-        """Diff shadow vs simulated file once all ranks completed the call.
-
-        Collective calls complete on every rank inside one engine run,
-        so counting completions is a deterministic barrier substitute.
-        """
+    def after_write(self, lfile) -> None:
+        """Mark one recorded write (collective or independent) landed."""
         self._write_done[lfile.name] += 1
-        if self._write_done[lfile.name] % comm_size == 0:
-            self.check_file(lfile)
+
+    def after_collective_write(self, lfile, comm_size: int) -> None:
+        """Diff shadow vs simulated file at quiescent epoch boundaries.
+
+        Ranks are *not* in lockstep: a fast rank may have entered (and
+        recorded) the next collective before the slowest finishes this
+        one, and eager sends let a rank's call complete before its data
+        reaches the aggregator that writes it.  The mid-file check
+        therefore fires only when the run is quiescent by coverage:
+        every call that recorded a write has returned, and the file has
+        received exactly the bytes the shadow recorded (no write still
+        in flight, no overlapping rewrite that would hide one).  The
+        close hook still runs the unconditional check after a barrier.
+        """
+        self.after_write(lfile)
+        name = lfile.name
+        if (self._write_done[name] % comm_size
+                or self._write_done[name] != self._write_started[name]):
+            return
+        sh = self._shadows.get(name)
+        if sh is None:
+            return
+        cov = sh.covered_bytes
+        if sh.total_recorded != cov:
+            # rewrites make coverage equality blind to in-flight data
+            return
+        if lfile.tracker.covered_bytes != cov:
+            return  # some recorded bytes have not landed yet
+        self.check_file(lfile)
 
     def check_file(self, lfile) -> None:
         """Byte- (verified) or extent-level (model) oracle comparison."""

@@ -3,8 +3,9 @@ writes byte-identical files on every (disjoint) access pattern.
 
 Patterns come from the synthetic generator (the paper's Figure 4 families
 plus seeded random disjoint sets); protocols are independent I/O, the
-ext2ph baseline, and ParColl with several group counts and both
-intermediate-view data paths.  Hypothesis drives sizes and seeds.
+ext2ph baseline, ParColl with several group counts and both
+intermediate-view data paths, and the registry's rivals (node
+aggregation, list I/O).  Hypothesis drives sizes and seeds.
 """
 
 import numpy as np
@@ -29,6 +30,11 @@ PROTOCOLS = [
      "parcoll_data_path": "logical"},
     {"protocol": "parcoll", "parcoll_ngroups": 8,
      "parcoll_intermediate_views": False},
+    {"protocol": "nodeagg"},
+    {"protocol": "nodeagg", "parcoll_ngroups": 2},
+    {"protocol": "listio"},
+    {"protocol": "listio:4"},
+    {"protocol": "listio", "listio_max_segments": 2},
 ]
 
 
@@ -114,3 +120,23 @@ def test_read_back_equivalence(hints):
         np.testing.assert_array_equal(
             got, deterministic_bytes(rank,
                                      filetype_for(cfg, rank).size))
+
+
+@pytest.mark.parametrize("pattern", ["serial", "tiled", "interleaved",
+                                     "random"])
+def test_registry_cross_product_under_oracle(pattern):
+    """Every *registered* protocol, under the runtime oracle, writes the
+    byte-identical reference file — the registry-wide differential
+    property (new registrations are covered automatically)."""
+    from repro.mpiio.protocols import available_protocols
+
+    cfg = SyntheticConfig(pattern=pattern, nprocs=4, bytes_per_rank=1024,
+                          piece_bytes=128, seed=7)
+    expected = reference_file(cfg, deterministic_bytes)
+    for name in available_protocols():
+        hints = {"protocol": name, "parcoll_validate": True}
+        if name in ("parcoll", "nodeagg"):
+            hints["parcoll_ngroups"] = 2
+        got = run_pattern(cfg, hints)
+        np.testing.assert_array_equal(
+            got, expected, err_msg=f"protocol {name!r} on {pattern!r}")
