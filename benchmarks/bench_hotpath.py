@@ -23,7 +23,16 @@ Run directly (not under pytest)::
 the CI regression gate: wall clock must stay within ``REGRESSION_FACTOR``
 of ``benchmarks/smoke_baseline.json`` (a soft 1.5x threshold, because CI
 runners are noisy and absolute speed varies by host generation; the
-determinism assertions are exact everywhere).
+determinism assertions are exact everywhere), and events/sec must stay
+above the committed ``_events_per_sec_floor`` in the same file.
+
+Both modes also run the **macro equivalence gate**: every config is run
+once with ``collective_mode='detailed'`` and once with ``'macro'``, and
+all virtual-time metrics except the event count must match bit for bit.
+Full mode additionally records the macro-fidelity headline speedup for
+``tileio_detailed`` and a 4096-rank scale probe
+(:func:`repro.harness.hotpath.run_scale`) that only the macro engine
+makes tractable.
 """
 
 from __future__ import annotations
@@ -65,12 +74,15 @@ def bench_config(name: str, smoke: bool, reps: int) -> dict:
     return {"wall_s": round(best_wall, 4), "metrics": metrics,
             "perf": {
                 "effects_dispatched": perf.effects_dispatched,
+                "events_per_sec": round(perf.events_per_sec, 1),
                 "heap_pushes": perf.heap_pushes,
                 "heap_bypasses": perf.heap_bypasses,
                 "exact_matches": perf.exact_matches,
                 "wildcard_matches": perf.wildcard_matches,
                 "segments_vectorized": perf.segments_vectorized,
                 "rounds_planned": perf.rounds_planned,
+                "macro_rounds": perf.macro_rounds,
+                "messages_coalesced": perf.messages_coalesced,
             }}
 
 
@@ -120,9 +132,64 @@ def main(argv: list[str] | None = None) -> int:
               f"baseline {baseline}s  speedup {entry['speedup']}x  "
               f"[{status}]")
 
+    # macro equivalence gate: run every config under an explicit
+    # 'detailed' and 'macro' override; every virtual-time field except
+    # the event count must match bit for bit (the macro engine replays
+    # the same physics through far fewer scheduler events)
+    equiv: dict = {}
+    for name in CONFIGS:
+        key = name + ("_smoke" if smoke else "")
+        det = run_config(name, smoke=smoke, collective_mode="detailed")
+        reps_m = 3 if (not smoke and name == "tileio_detailed") else 1
+        mac = None
+        mac_wall = float("inf")
+        for _ in range(reps_m):
+            t0 = time.perf_counter()
+            mac = run_config(name, smoke=smoke, collective_mode="macro")
+            mac_wall = min(mac_wall, time.perf_counter() - t0)
+        diffs = [k for k in det if k != "events" and det[k] != mac[k]]
+        equiv[key] = {
+            "bit_identical": not diffs,
+            "events_detailed": det["events"],
+            "events_macro": mac["events"],
+            "macro_wall_s": round(mac_wall, 4),
+        }
+        print(f"{key:>24}: macro {'==' if not diffs else '!='} detailed  "
+              f"events {det['events']} -> {mac['events']}  "
+              f"macro wall {mac_wall:.3f}s")
+        if diffs:
+            errors.append(f"{key}: macro/detailed metrics differ in "
+                          f"{diffs} (reference says bit-identical)")
+
+    macro_speedup = None
+    if not smoke:
+        baseline = ref["tileio_detailed"].get("baseline_wall_s")
+        mw = equiv["tileio_detailed"]["macro_wall_s"]
+        if baseline:
+            macro_speedup = {
+                "config": "tileio_detailed",
+                "baseline_wall_s": baseline,
+                "macro_wall_s": mw,
+                "speedup": round(baseline / mw, 3),
+            }
+            print(f"macro headline: tileio_detailed "
+                  f"{macro_speedup['speedup']}x vs pre-optimization "
+                  "engine")
+
+    scale = None
+    if not smoke:
+        from repro.harness.hotpath import run_scale
+
+        scale = run_scale(4096)
+        print(f"scale probe: {scale['nprocs']} ranks in "
+              f"{scale['wall_s']:.1f}s  "
+              f"({scale['events_per_sec']:.0f} events/s, "
+              f"{scale['messages']} messages)")
+
     gate: dict = {}
     if smoke:
         base = json.loads(SMOKE_BASELINE.read_text())
+        eps_floor = base.get("_events_per_sec_floor")
         for key, entry in results.items():
             limit = base[key] * REGRESSION_FACTOR
             ok = entry["wall_s"] <= limit
@@ -134,6 +201,16 @@ def main(argv: list[str] | None = None) -> int:
                     f"{key}: wall {entry['wall_s']:.3f}s exceeds "
                     f"{REGRESSION_FACTOR}x smoke baseline "
                     f"({base[key]}s -> limit {limit:.3f}s)")
+            if eps_floor:
+                eps = entry["perf"]["events_per_sec"]
+                gate[key]["events_per_sec"] = eps
+                gate[key]["events_per_sec_floor"] = eps_floor
+                if eps < eps_floor:
+                    gate[key]["ok"] = False
+                    errors.append(
+                        f"{key}: {eps:.0f} events/s below the committed "
+                        f"floor of {eps_floor} (engine throughput "
+                        "regression)")
 
     payload = {
         "benchmark": "hotpath",
@@ -143,7 +220,12 @@ def main(argv: list[str] | None = None) -> int:
         "determinism_ok": not any("MISMATCH" in e or "reference says" in e
                                   for e in errors),
         "results": results,
+        "macro_equivalence": equiv,
     }
+    if macro_speedup:
+        payload["macro_speedup"] = macro_speedup
+    if scale:
+        payload["scale_macro"] = scale
     if gate:
         payload["smoke_gate"] = gate
     OUT.write_text(json.dumps(payload, indent=2) + "\n")

@@ -23,6 +23,7 @@ records.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import time
 from functools import partial
@@ -75,16 +76,65 @@ CONFIGS = {
 }
 
 
+def scale_config(nprocs: int = 4096) -> tuple[ExperimentConfig, Any, Any]:
+    """Tile-IO at thousands of ranks — the macro-fidelity scale probe.
+
+    Deliberately NOT in :data:`CONFIGS`: it has no reference entry in
+    ``ref_hotpath.json`` (a per-message detailed run at this size takes
+    tens of minutes, so there is nothing to gate against).  The macro
+    backend makes it tractable; ``BENCH_hotpath.json`` records the wall
+    time and events/sec as the scale headline.
+    """
+    cfg = ExperimentConfig(nprocs=nprocs, collective_mode="macro",
+                           lustre={"n_osts": 32,
+                                   "default_stripe_count": 32})
+    wl = TileIOConfig(tile_rows=256, tile_cols=192, element_size=64,
+                      hints={"protocol": "ext2ph"})
+    return cfg, wl, partial(tile_io_program, wl)
+
+
+def run_scale(nprocs: int = 4096,
+              collective_mode: Optional[str] = None) -> dict:
+    """Run the scale probe; returns metrics plus host wall seconds."""
+    cfg, _wl, program = scale_config(nprocs)
+    if collective_mode is not None:
+        cfg = dataclasses.replace(cfg, collective_mode=collective_mode)
+    world, fs, io = cfg.build()
+
+    def rank_main(comm):
+        stats = yield from program(comm, io)
+        return stats
+
+    t0 = time.perf_counter()
+    per_rank = world.launch(rank_main)
+    wall = time.perf_counter() - t0
+    events = world.engine.effects_dispatched
+    return {
+        "nprocs": nprocs,
+        "wall_s": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+        "messages": world.network.messages_sent,
+        "elapsed_total": repr(world.engine.now),
+        "bytes_written": int(sum(s.bytes_written for s in per_rank)),
+    }
+
+
 def run_config(name: str, smoke: bool = False,
-               perf_out: Optional[list] = None) -> dict:
+               perf_out: Optional[list] = None,
+               collective_mode: Optional[str] = None) -> dict:
     """Run one named config; returns exact virtual-time metrics.
 
     ``file_sha256`` hashes the concatenated contents of every verified
     file (sorted by name); model-mode runs report an empty string.  If
     ``perf_out`` is given, the run's :class:`PerfStats` (including host
-    wall seconds) is appended to it.
+    wall seconds) is appended to it.  ``collective_mode`` overrides the
+    config's collective backend spec — the macro-equivalence gate uses
+    it to run the same workload under 'detailed' and 'macro'.
     """
     cfg, _wl, program = CONFIGS[name](smoke)
+    if collective_mode is not None:
+        cfg = dataclasses.replace(cfg, collective_mode=collective_mode)
     world, fs, io = cfg.build()
 
     def rank_main(comm):

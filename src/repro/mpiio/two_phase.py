@@ -324,6 +324,7 @@ def collective_write(env: IOEnv, segs: Segments,
         raise MPIIOError("verified-mode collective write requires data")
 
     memcpy_bw = comm.world.network.params.memcpy_bandwidth
+    use_batch = comm.backend.fidelity("exchange") == "macro"
     pending: list = []
     node_info = None
     if env.hints.cb_node_consolidation:
@@ -355,6 +356,7 @@ def collective_write(env: IOEnv, segs: Segments,
                                               category="sync")
         # dispatch my pieces (local piece short-circuits the network)
         reqs = []
+        batch: list = []
         local_piece = None
         for a, sub in send_lists.items():
             piece_data = None if model else extract_data(segs, prefix, data, sub)
@@ -365,7 +367,13 @@ def collective_write(env: IOEnv, segs: Segments,
                 local_piece = (sub, piece_data)
                 continue
             payload = Payload(nbytes, (sub[0], sub[1], piece_data))
-            reqs.append(comm.isend(payload, dest=aggs[a], tag=TP_TAG + rnd))
+            if use_batch:
+                batch.append((aggs[a], payload))
+            else:
+                reqs.append(comm.isend(payload, dest=aggs[a],
+                                       tag=TP_TAG + rnd))
+        if batch:
+            reqs = comm.isend_batch(batch, tag=TP_TAG + rnd)
         if my_idx >= 0:
             yield from _aggregate_and_write(env, all_counts, local_piece,
                                             rnd, memcpy_bw, pending)
@@ -470,7 +478,7 @@ def _aggregate_and_write(env: IOEnv, all_counts: np.ndarray,
                              offsets=w_offs, lengths=w_lens,
                              data=merged_data, retry=env.retry)
     if pending is not None and env.hints.pipelined_io:
-        task = yield Spawn(write_gen, f"pipelined-write-r{rnd}")
+        task = yield Spawn(write_gen, ("pipelined-write", rnd))
         pending.append(task)
         return
     t0 = comm.now
@@ -499,6 +507,7 @@ def collective_read(env: IOEnv, segs: Segments,
     out = np.empty(total, dtype=np.uint8) if verified else None
 
     memcpy_bw = comm.world.network.params.memcpy_bandwidth
+    use_batch = comm.backend.fidelity("exchange") == "macro"
     plan = plan_rounds(segs, aggs, starts, ends, cb)
     if env.validator is not None:
         env.validator.check_exchange_plan(segs, plan, ntimes)
@@ -511,14 +520,21 @@ def collective_read(env: IOEnv, segs: Segments,
         sent_lists = (want_lists if translate is None
                       else {a: translate(sub) for a, sub in want_lists.items()})
         req_reqs = []
+        req_batch: list = []
         local_want = None
         for a, sub in sent_lists.items():
             if aggs[a] == comm.rank:
                 local_want = sub
                 continue
             nbytes = SEG_HEADER_BYTES * sub[0].size
-            req_reqs.append(comm.isend(Payload(nbytes, (sub[0], sub[1])),
-                                       dest=aggs[a], tag=TP_TAG + rnd))
+            payload = Payload(nbytes, (sub[0], sub[1]))
+            if use_batch:
+                req_batch.append((aggs[a], payload))
+            else:
+                req_reqs.append(comm.isend(payload, dest=aggs[a],
+                                           tag=TP_TAG + rnd))
+        if req_batch:
+            req_reqs = comm.isend_batch(req_batch, tag=TP_TAG + rnd)
         local_reply = None
         reply_reqs: list = []
         if my_idx >= 0:
@@ -584,7 +600,9 @@ def _read_and_reply(env: IOEnv, all_counts: np.ndarray, local_want,
     verified = union_data is not None
     # replies go out as isends: a blocking (rendezvous) send here could
     # deadlock against a requester still waiting on another aggregator
+    use_batch = comm.backend.fidelity("exchange") == "macro"
     reply_reqs = []
+    reply_batch: list = []
     for src, sub in requests:
         piece = (extract_data(union, union_prefix, union_data, sub)
                  if verified else None)
@@ -592,6 +610,12 @@ def _read_and_reply(env: IOEnv, all_counts: np.ndarray, local_want,
             local_reply = piece
             continue
         reply_bytes = int(sub[1].sum())
-        reply_reqs.append(comm.isend(Payload(reply_bytes, piece), dest=src,
-                                     tag=REPLY_TAG + rnd))
+        payload = Payload(reply_bytes, piece)
+        if use_batch:
+            reply_batch.append((src, payload))
+        else:
+            reply_reqs.append(comm.isend(payload, dest=src,
+                                         tag=REPLY_TAG + rnd))
+    if reply_batch:
+        reply_reqs = comm.isend_batch(reply_batch, tag=REPLY_TAG + rnd)
     return local_reply, reply_reqs

@@ -15,6 +15,12 @@ communicator participate):
 5. each subgroup runs the *unmodified* extended two-phase engine over its
    own File Area — with the intermediate-view translator when the plan
    demands it.
+
+ParColl needs no macro-coalescing code of its own: subgroup
+communicators inherit the parent's :class:`CollectiveBackend`, so under
+the ``macro`` exchange fidelity the per-subgroup ext2ph shuffle rides
+the same batched transfer schedules (``Communicator.isend_batch``) and
+macro collective rounds as the flat protocol.
 """
 
 from __future__ import annotations

@@ -43,6 +43,17 @@ class PerfStats:
     segments_vectorized: int = 0
     #: window pieces produced by the all-rounds two-phase planner
     rounds_planned: int = 0
+    #: rounds whose message schedule was coalesced into closed form
+    macro_rounds: int = 0
+    #: per-message simulation steps replaced by macro schedules
+    messages_coalesced: int = 0
+
+    @property
+    def events_per_sec(self) -> float:
+        """Engine throughput: effects dispatched per host wall second."""
+        if self.wall_seconds > 0:
+            return self.effects_dispatched / self.wall_seconds
+        return 0.0
 
     def lines(self) -> list[tuple[str, str]]:
         """(label, value) pairs for report rendering."""
@@ -54,6 +65,8 @@ class PerfStats:
                     out.append(("wall seconds", f"{v:.3f}"))
                 continue
             out.append((f.name.replace("_", " "), f"{v:,}"))
+        if self.wall_seconds > 0:
+            out.append(("events per sec", f"{self.events_per_sec:,.0f}"))
         return out
 
 
@@ -66,16 +79,22 @@ class _HotCounters:
     workers (separate processes) never mix counts.
     """
 
-    __slots__ = ("segments_vectorized", "rounds_planned")
+    __slots__ = ("segments_vectorized", "rounds_planned", "macro_rounds",
+                 "messages_coalesced")
 
     def __init__(self) -> None:
         self.segments_vectorized = 0
         self.rounds_planned = 0
+        self.macro_rounds = 0
+        self.messages_coalesced = 0
 
-    def sample_and_reset(self) -> tuple[int, int]:
-        out = (self.segments_vectorized, self.rounds_planned)
+    def sample_and_reset(self) -> tuple[int, int, int, int]:
+        out = (self.segments_vectorized, self.rounds_planned,
+               self.macro_rounds, self.messages_coalesced)
         self.segments_vectorized = 0
         self.rounds_planned = 0
+        self.macro_rounds = 0
+        self.messages_coalesced = 0
         return out
 
 
@@ -93,10 +112,12 @@ def collect(world, wall_seconds: float = 0.0,
         exact += mbox.exact_matches
         wild += mbox.wildcard_matches
     if reset_hot:
-        seg_vec, planned = perf_counters.sample_and_reset()
+        seg_vec, planned, macro, coalesced = perf_counters.sample_and_reset()
     else:
         seg_vec = perf_counters.segments_vectorized
         planned = perf_counters.rounds_planned
+        macro = perf_counters.macro_rounds
+        coalesced = perf_counters.messages_coalesced
     return PerfStats(
         wall_seconds=wall_seconds,
         effects_dispatched=eng.effects_dispatched,
@@ -106,6 +127,8 @@ def collect(world, wall_seconds: float = 0.0,
         wildcard_matches=wild,
         segments_vectorized=seg_vec,
         rounds_planned=planned,
+        macro_rounds=macro,
+        messages_coalesced=coalesced,
     )
 
 

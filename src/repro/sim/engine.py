@@ -114,15 +114,21 @@ class Event:
 
 
 class Task:
-    """A running generator plus its scheduling state."""
+    """A running generator plus its scheduling state.
 
-    __slots__ = ("engine", "gen", "name", "done", "result", "error", "_joiners",
+    ``name`` may be None (rendered as ``task-<id>`` on demand), a string,
+    or a lazy tuple of parts — like event names it is only formatted when
+    a diagnostic actually needs it, so spawning costs no f-string.
+    """
+
+    __slots__ = ("engine", "gen", "_name", "done", "result", "error", "_joiners",
                  "state", "_tid")
 
-    def __init__(self, engine: "Engine", gen: Generator[Any, Any, Any], name: str):
+    def __init__(self, engine: "Engine", gen: Generator[Any, Any, Any],
+                 name: Any = None):
         self.engine = engine
         self.gen = gen
-        self.name = name
+        self._name = name
         self.done = False
         self.result: Any = None
         self.error: Optional[BaseException] = None
@@ -131,6 +137,13 @@ class Task:
         #: ``(verb, detail)`` tuple rendered by :meth:`describe`
         self.state: Any = "new"
         self._tid: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        n = self._name
+        if n is None:
+            return f"task-{self._tid}"
+        return _label(n)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Task {self.name} state={self.describe_state()}>"
@@ -145,13 +158,46 @@ class Task:
         if verb == "waiting":
             return f"waiting on event {_label(detail)!r}"
         if verb == "joining":
-            return f"joining task {detail!r}"
+            return f"joining task {detail.name if type(detail) is Task else detail!r}"
         if verb == "failed":
             return f"failed: {detail!r}"
         return f"{verb}: {detail}"  # pragma: no cover - future-proofing
 
     def describe(self) -> str:
         return f"{self.name}: {self.describe_state()}"
+
+
+class _ScheduledBatch:
+    """One rolling scheduler entry draining N timestamped completions.
+
+    Holds ``entries`` — ``(t, fn, arg)`` sorted by non-decreasing ``t`` —
+    and keeps exactly one entry in the engine's scheduler at a time:
+    each :meth:`advance` fires every completion due at the current
+    virtual time, then re-schedules itself at the next distinct
+    timestamp.  A macro-coalesced round with thousands of message
+    completions therefore costs O(distinct timestamps) heap traffic
+    instead of O(messages).
+    """
+
+    __slots__ = ("engine", "entries", "i")
+
+    def __init__(self, engine: "Engine", entries):
+        self.engine = engine
+        self.entries = entries
+        self.i = 0
+
+    def advance(self, _arg: Any = None) -> None:
+        entries = self.entries
+        i = self.i
+        n = len(entries)
+        now = self.engine.now
+        while i < n and entries[i][0] <= now:
+            t, fn, arg = entries[i]
+            fn(arg)
+            i += 1
+        self.i = i
+        if i < n:
+            self.engine._sched(entries[i][0], _K_CALL1, self.advance, None)
 
 
 class Engine:
@@ -195,11 +241,15 @@ class Engine:
     def call_later(self, dt: float, fn: Callable[[], None]) -> None:
         self._sched(self.now + dt, _K_FN, fn, None)
 
-    def spawn(self, gen: Generator[Any, Any, Any], name: Optional[str] = None) -> Task:
-        """Register ``gen`` as a task and schedule its first step now."""
+    def spawn(self, gen: Generator[Any, Any, Any], name: Any = None) -> Task:
+        """Register ``gen`` as a task and schedule its first step now.
+
+        ``name`` is a lazy diagnostic label (None, a string, or a tuple
+        of parts); nothing is formatted here.
+        """
         self._next_task_id += 1
         tid = self._next_task_id
-        task = Task(self, gen, name or f"task-{tid}")
+        task = Task(self, gen, name)
         task._tid = tid
         self._live_tasks[tid] = task
         task.state = "ready"
@@ -210,6 +260,19 @@ class Engine:
     def _resume_soon(self, task: Task, value: Any) -> None:
         self.heap_bypasses += 1
         self._ready.append((_K_STEP, task, value))
+
+    def schedule_batch(self, entries: list[tuple[float, Callable[[Any], None], Any]]) -> None:
+        """Schedule N ``(t, fn, arg)`` completions through one rolling entry.
+
+        ``entries`` must be sorted by non-decreasing ``t`` with every
+        ``t >= now``; each ``fn(arg)`` runs at virtual time ``t``, and
+        completions sharing a timestamp run in list order.  Entries due
+        at the *current* time fire immediately (the caller is already
+        executing at ``now``), so a fully-synchronous batch never touches
+        the heap at all.
+        """
+        if entries:
+            _ScheduledBatch(self, entries).advance()
 
     # ------------------------------------------------------------------
     # trampoline
@@ -285,7 +348,7 @@ class Engine:
                         else:
                             value = target.result
                         continue
-                    task.state = ("joining", target.name)
+                    task.state = ("joining", target)
                     target._joiners.append(task)
                     return
                 else:
@@ -383,7 +446,7 @@ class Engine:
     def run_tasks(self, gens: list[Generator[Any, Any, Any]],
                   names: Optional[list[str]] = None) -> list[Any]:
         """Spawn ``gens``, run to completion, return their results in order."""
-        names = names or [f"task-{i}" for i in range(len(gens))]
+        names = names or [None] * len(gens)
         tasks = [self.spawn(g, name=n) for g, n in zip(gens, names)]
         try:
             self.run()

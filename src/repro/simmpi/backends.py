@@ -87,6 +87,7 @@ def _ensure_builtins() -> None:
     """Import the fidelity modules so their registrations run."""
     import repro.simmpi.analytic  # noqa: F401  (registers 'analytic')
     import repro.simmpi.collectives_detailed  # noqa: F401  ('detailed')
+    import repro.simmpi.collectives_macro  # noqa: F401  ('macro')
 
 
 def available_backends() -> tuple[str, ...]:

@@ -1,0 +1,743 @@
+"""Macro collective fidelity: coalesce a round's messages into closed form.
+
+The ``detailed`` fidelity simulates every collective message as engine
+traffic — one generator resumption, two scheduler entries, a mailbox
+match, and an event fire per message.  For the synchronizing collectives
+(barrier, allgather, alltoall, allreduce, reduce_scatter_block) the
+message schedule is *statically known*: every send's destination, size,
+and matching receive are fixed by the algorithm, and no rank can leave
+before every rank has entered (each exit transitively depends on a
+message from every participant).  The ``macro`` fidelity exploits
+exactly that: participating ranks park on one event apiece while a
+shared per-world *walker* replays the detailed algorithm's message
+schedule as a timestamp-ordered walk over the send/receive dependency
+graph — no per-message tasks, mailboxes, or event objects.
+
+The walk reproduces the engine's execution *bit-identically*:
+
+* it is incremental — each rank pushes its first step when it arrives,
+  and the walker processes work through at most one engine callback per
+  distinct timestamp, so every NIC reservation is issued at its true
+  chronological engine moment, interleaved with concurrent
+  non-collective traffic (pipelined writes, point-to-point exchange)
+  exactly as the per-message simulation would;
+* completion times come from the same
+  :meth:`~repro.sim.resources.FIFOResource.reserve_span` arithmetic in
+  the same global order, including rendezvous header/clear-to-send/data
+  phases and piecewise fault speed profiles;
+* ties are broken exactly like the engine's ``(time, seq)`` heap key —
+  all macro rounds in a world share one walker heap and one sequence
+  space, allocated in engine push order and keyed ``(t, phase, seq)``,
+  so concurrent rounds (laggards still finishing round N while early
+  ranks entered round N+1, rounds on disjoint subcommunicators)
+  interleave in the one global order the per-message heap would impose;
+* at a *contested* timestamp — engine ready-deque entries pending, or
+  foreign engine heap entries due — entry processing mirrors the
+  engine's two execution stages.  In the per-message simulation,
+  scheduler heap entries only do bookkeeping (deliveries match
+  mailboxes, fires append woken tasks to the ready deque) while all NIC
+  traffic is issued by task continuations draining FIFO from the ready
+  deque; the sole exception, a rendezvous data phase, reserves its NICs
+  from a real heap callback.  The walker's wake is itself a heap entry,
+  so at contested times it handles each due resumption at heap stage
+  only up to its first send — receive consumption, parking, and bare
+  exits (the analogue of an event fire) happen inline, and a cascade
+  about to issue a send is deferred to the engine ready deque in bind
+  order, where it runs at exactly the position the detailed task's
+  continuation would.  At uncontested timestamps no other actor can
+  observe the ordering and the walk advances inline at full speed.
+
+Non-synchronizing collectives (bcast, reduce, gather, scatter, scan,
+exscan) can complete on some ranks before others arrive, so a site-based
+replay would be unsound; under the ``macro`` backend those fall back to
+the detailed message schedule (see :meth:`Communicator._collective`).
+The walk itself falls back when message timestamps are not strictly
+ordered after their causes (``send_overhead == 0`` or ``latency == 0``
+make same-time scheduling possible, which the replay cannot order), and
+for single-rank communicators (whose detailed path never yields).
+
+Caveat (documented in docs/architecture.md): deferred cascades join the
+engine ready deque when the walker's wake runs, so unrelated traffic
+whose same-instant scheduler entries interleave *between* the round's
+own sequence numbers can be ordered differently than the per-message
+simulation — deterministic, but a potential tie-break difference.
+Distinct timestamps (the generic case: overheads and latencies make
+exact cross-traffic ties measure-zero) are always ordered identically.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import MPIError, SimulationError
+from repro.perf import perf_counters
+from repro.sim.effects import WaitEvent
+from repro.sim.engine import _K_CALL1, Event
+from repro.simmpi import collectives_detailed as detailed
+from repro.simmpi.backends import _LeafBackend, register_backend
+from repro.simmpi.p2p import RTS_BYTES
+from repro.simmpi.payload import Payload, sizeof
+from repro.simmpi.reduce_ops import ReduceOp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.world import Communicator, World
+
+_INF = float("inf")
+
+
+class MacroBackend(_LeafBackend):
+    """Synchronizing collectives replay their schedule in closed form."""
+
+    name = "macro"
+
+
+register_backend(MacroBackend.name, MacroBackend.from_spec, leaf=True)
+
+#: initial site entries must order before any allocated sequence number
+_BIG = 1 << 60
+
+
+def _usable(comm: "Communicator") -> bool:
+    """Can the walk order this world's schedules exactly?
+
+    Strictly positive send overhead and wire latency guarantee every
+    transfer completes strictly after it was issued, so no collective
+    message ever lands on the engine's same-time ready deque — the
+    ordering regime the walker reproduces.  Rank-symmetric: depends only
+    on world-global parameters.
+    """
+    p = comm.world.network.params
+    return p.send_overhead > 0.0 and p.latency > 0.0
+
+
+class _MacroSite:
+    """Synchronization site for one macro collective call."""
+
+    __slots__ = ("arrivals", "values", "order", "events", "kind",
+                 "driver", "extra")
+
+    def __init__(self, kind: str):
+        self.arrivals: dict[int, float] = {}
+        self.values: dict[int, Any] = {}
+        #: ranks in engine execution order of their arrival
+        self.order: list[int] = []
+        self.events: dict[int, Event] = {}
+        self.kind = kind
+        self.driver: Optional[_Driver] = None
+        #: per-kind scratch (converted payloads, memoized reductions)
+        self.extra: dict = {}
+
+
+def _transfer_at(net, t: float, src_rank: int, dst_rank: int,
+                 nbytes: int) -> tuple[float, float]:
+    """:meth:`NetworkModel.transfer` issued at logical time ``t``.
+
+    The walker calls this in global chronological order (``t`` is always
+    the engine's current time or the walker's quiescent-advance clock),
+    so reserving the real NIC resources directly (no shadow state)
+    leaves them in exactly the state N per-message ``transfer()`` calls
+    would have.
+    """
+    net.messages_sent += 1
+    net.bytes_sent += nbytes
+    node_of = net._node_of
+    src_node = node_of[src_rank]
+    dst_node = node_of[dst_rank]
+    p = net.params
+    if src_node == dst_node:
+        done = t + p.send_overhead + nbytes / p.memcpy_bandwidth
+        return done, done
+    net.cross_node_messages += 1
+    net.cross_node_bytes += nbytes
+    tx_start, tx_done = net.tx[src_node].reserve_span(t, nbytes)
+    if net._flat_wire:
+        first_byte = tx_start + p.latency
+    else:
+        first_byte = tx_start + net.wire_latency(src_node, dst_node)
+    arrival = net.rx[dst_node].reserve_span(first_byte, nbytes)[1]
+    return tx_done, arrival
+
+
+class _Driver:
+    """Per-site replay state for one collective round.
+
+    ``progs[r]`` is rank r's step list; each step is ``(dst, dstep, nb,
+    src)``: send ``nb`` bytes to rank ``dst`` (matched by the receiver's
+    step index ``dstep``), then wait the receive of a message from some
+    rank (``src >= 0``), then wait the send.  ``dst = -1`` is a
+    receive-only step, ``src = -1`` send-only — exactly the three shapes
+    the detailed algorithms use (``sreq = isend; yield irecv; yield
+    sreq``).  ``nb`` may be a zero-argument callable, resolved when the
+    step is issued — sizes that depend on other ranks' payloads
+    (forwarded blocks, partial reductions) are only known once the data
+    has causally propagated, which is exactly when the step runs.
+
+    All scheduling state (heap, sequence counter, wake) lives on the
+    world's shared :class:`_Walker`; the driver only holds the round's
+    step programs and per-rank progress.
+    """
+
+    __slots__ = ("core", "members", "p", "site", "idx", "step_i",
+                 "pend", "inbox", "progs", "results", "nmsgs", "done")
+
+    def __init__(self, comm: "Communicator", site: _MacroSite,
+                 core: "_Walker"):
+        p = comm.size
+        self.core = core
+        self.members = comm.desc.members
+        self.p = p
+        self.site = site
+        self.idx = 0
+        self.step_i = [0] * p
+        #: parked rank state: [step, sendT, sbind, recvT, rbind]; None
+        #: fields are unresolved (rendezvous send, unmatched receive)
+        self.pend: list[Optional[list]] = [None] * p
+        #: early messages keyed (dst, dstep): ("e", arrival, seq) once
+        #: the delivery is scheduled, ("h", src, nb) for an unmatched
+        #: rendezvous header sitting in the unexpected queue
+        self.inbox: dict[tuple[int, int], tuple] = {}
+        self.progs: list[Optional[list]] = [None] * p
+        self.results: Optional[list] = None
+        self.nmsgs = 0
+        self.done = 0
+
+    def push_initial(self, r: int, prog: list) -> None:
+        core = self.core
+        self.progs[r] = prog
+        heappush(core.heap,
+                 (self.site.arrivals[r], 1, core.initc - _BIG, 0, r, self))
+        core.initc += 1
+        self.idx += 1
+
+    def _complete(self, r: int, pe: list) -> None:
+        sendT, sbind, recvT, rbind = pe[1], pe[2], pe[3], pe[4]
+        if sendT is None or recvT is None:
+            return
+        self.pend[r] = None
+        self.step_i[r] += 1
+        if recvT >= sendT:
+            heappush(self.core.heap, (recvT, 1, rbind, 0, r, self))
+        else:
+            heappush(self.core.heap, (sendT, 1, sbind, 0, r, self))
+
+
+class _Walker:
+    """Shared per-world schedule walker: one heap, one sequence space.
+
+    Work lives on a heap keyed ``(t, phase, seq)``: phase 0 entries are
+    real scheduler entries (rendezvous header deliveries and data
+    phases), phase 1 entries are rank resumptions whose seq is the entry
+    that woke the task — the send event's fire when the send finished
+    last, the delivery's when the receive did.  Sequence numbers are
+    allocated in engine push order: per eager message the send fire then
+    the delivery, per rendezvous the header delivery, the clear-to-send
+    at match time, then the data phase's sender-free and arrival fires.
+    Sharing one heap and one sequence space across every macro site in
+    the world keeps concurrent rounds in the same global order the
+    engine's own heap would impose.
+
+    :meth:`pump` drains every entry due at the engine's current time
+    (deferring contested cascades to the engine ready deque — see the
+    module docstring), then advances inline as far as engine quiescence
+    allows, and schedules one engine callback at the next entry's
+    timestamp, so the walk advances in lockstep with the rest of the
+    simulation.
+    """
+
+    __slots__ = ("eng", "net", "eager", "cts_base", "node_of", "heap",
+                 "seqc", "initc", "wake_at", "deferred", "unfinished")
+
+    def __init__(self, world: "World"):
+        self.eng = world.engine
+        self.net = world.network
+        self.eager = world._eager_threshold
+        self.cts_base = self.net.params.send_overhead
+        self.node_of = self.net._node_of
+        self.heap: list[tuple] = []
+        self.seqc = 0
+        self.initc = 0
+        self.wake_at = _INF
+        #: cascades parked on the engine ready deque
+        self.deferred = 0
+        #: fully-arrived rounds that have not completed yet
+        self.unfinished = 0
+
+    def _wake(self, _arg: Any = None) -> None:
+        self.wake_at = _INF
+        self.pump()
+
+    def _deferred_casc(self, arg: tuple) -> None:
+        """A cascade deferred from a contested timestamp, now running at
+        its bind position on the ready deque (sends allowed)."""
+        drv, r = arg
+        self.deferred -= 1
+        self._casc(drv, r, self.eng.now, False)
+        self.pump()
+
+    def _casc(self, drv: _Driver, r: int, cur_t: float,
+              no_sends: bool) -> None:
+        """Advance rank ``r``'s step cascade from its current position.
+
+        ``no_sends`` is set when processing a contested current-time
+        entry at heap stage: the cascade then only runs through
+        send-free work (receive consumption, parking, exit fires — the
+        detailed schedule does all of those from heap entries too) and
+        defers to the engine ready deque just before issuing a send.
+        """
+        eng = self.eng
+        net = self.net
+        heap = self.heap
+        members = drv.members
+        node_of = self.node_of
+        pend = drv.pend
+        inbox = drv.inbox
+        step_i = drv.step_i
+        eager = self.eager
+        cts_base = self.cts_base
+        seqc = self.seqc
+        prog = drv.progs[r]
+        nsteps = len(prog)
+        while True:
+            k = step_i[r]
+            if k >= nsteps:
+                drv.done += 1
+                if drv.done == drv.p:
+                    perf_counters.messages_coalesced += drv.nmsgs
+                    self.unfinished -= 1
+                ev = drv.site.events[r]
+                if cur_t > eng.now:
+                    # walked ahead of the engine clock: re-enter the
+                    # scheduler so the rank resumes at its true exit
+                    # time
+                    ev.fire_at(cur_t, drv.results[r])
+                else:
+                    ev.fire(drv.results[r])
+                break
+            dst, dstep, nb, src = prog[k]
+            if no_sends and dst >= 0:
+                # about to issue NIC traffic at heap stage: requeue at
+                # this entry's bind position on the ready deque instead
+                eng.heap_bypasses += 1
+                eng._ready.append(
+                    (_K_CALL1, self._deferred_casc, (drv, r)))
+                self.deferred += 1
+                break
+            if callable(nb):
+                nb = nb()
+            sendT = sbind = None
+            has_send = dst >= 0
+            if has_send:
+                drv.nmsgs += 1
+                if nb <= eager:
+                    free, arr = _transfer_at(
+                        net, cur_t, members[r], members[dst], nb)
+                    sendT = free
+                    sbind = seqc       # send-event fire
+                    dseq = seqc + 1    # delivery
+                    seqc += 2
+                    pe = pend[dst]
+                    if pe is not None and pe[0] == dstep:
+                        pe[3] = arr
+                        pe[4] = dseq
+                        drv._complete(dst, pe)
+                    else:
+                        inbox[(dst, dstep)] = ("e", arr, dseq)
+                else:
+                    _, harr = _transfer_at(
+                        net, cur_t, members[r], members[dst], RTS_BYTES)
+                    heappush(heap,
+                             (harr, 0, seqc, 1, (r, dst, dstep, nb), drv))
+                    seqc += 1
+            if src < 0:
+                # send-only step: wait for the sender-free event
+                if sendT is None:
+                    pend[r] = [k, None, None, 0.0, -1]
+                    break
+                step_i[r] += 1
+                heappush(heap, (sendT, 1, sbind, 0, r, drv))
+                break
+            ib = inbox.pop((r, k), None)
+            if ib is None:
+                pend[r] = [k, sendT if has_send else 0.0,
+                           sbind if has_send else -1, None, None]
+                break
+            if ib[0] == "h":
+                # unmatched rendezvous header: posting the receive
+                # sends the clear-to-send immediately
+                cts = cur_t + (net.wire_latency(
+                    node_of[members[r]],
+                    node_of[members[ib[1]]]) + cts_base)
+                heappush(heap,
+                         (cts, 0, seqc, 2, (ib[1], r, k, ib[2]), drv))
+                seqc += 1
+                pend[r] = [k, sendT if has_send else 0.0,
+                           sbind if has_send else -1, None, None]
+                break
+            arrT, dseq = ib[1], ib[2]
+            if not has_send:
+                # receive-only step
+                if arrT <= cur_t:
+                    # already in the unexpected queue: continue inline,
+                    # keeping this cascade's ordering token
+                    step_i[r] += 1
+                    continue
+                step_i[r] += 1
+                heappush(heap, (arrT, 1, dseq, 0, r, drv))
+                break
+            if sendT is None:
+                # rendezvous send still pending; receive resolved
+                pend[r] = [k, None, None, arrT, dseq]
+                break
+            step_i[r] += 1
+            if arrT >= sendT:
+                heappush(heap, (arrT, 1, dseq, 0, r, drv))
+            else:
+                heappush(heap, (sendT, 1, sbind, 0, r, drv))
+            break
+        self.seqc = seqc
+
+    def pump(self) -> None:
+        """Drain due work, then advance inline as far as legality allows.
+
+        Entries due at the engine's current time are processed in
+        ``(t, phase, seq)`` order; at contested timestamps code-0
+        cascades defer their sends to the engine ready deque (see
+        :meth:`_casc`), while rendezvous bookkeeping and data phases —
+        real heap callbacks in the per-message schedule — always run
+        inline.  After the due work, if the engine has nothing else to
+        run before our next entry (empty ready deque, no earlier engine
+        heap entry), no other traffic can touch the NICs in between —
+        so the walk keeps going inline at future timestamps instead of
+        paying one engine callback per timestamp.  Rank exits reached
+        while ahead of the engine clock are scheduled back through
+        :meth:`Event.fire_at` so they resume at their true time (and
+        whatever they then issue interleaves normally); everything
+        still pending when the advance stops gets one wake at the next
+        entry's timestamp.
+        """
+        eng = self.eng
+        now = eng.now
+        heap = self.heap
+        net = self.net
+        node_of = self.node_of
+        cts_base = self.cts_base
+        eheap = eng._heap
+        eready = eng._ready
+        cur = now
+        while heap:
+            t1 = heap[0][0]
+            if t1 > cur:
+                # nothing due now — advance inline only while the
+                # engine has nothing to run first: any ready-deque
+                # entry, or an engine heap entry at or before t1,
+                # could issue traffic that must interleave with ours
+                if eready or (eheap and eheap[0][0] <= t1):
+                    break
+                cur = t1
+            t, _phase, seq, code, arg, drv = heappop(heap)
+            if code == 0:
+                # initial entries (seq < 0) run in their arriving task's
+                # own continuation — never deferred
+                no_sends = (seq >= 0 and cur == now
+                            and (eready or (eheap and eheap[0][0] <= now)))
+                self._casc(drv, arg, t, no_sends)
+                continue
+            members = drv.members
+            if code == 1:
+                # rendezvous header delivered at the receiver
+                src, dst, dstep, nb = arg
+                pe = drv.pend[dst]
+                if pe is not None and pe[0] == dstep:
+                    # receive already posted: match, clear-to-send goes
+                    # back (sum the latency terms first — same float
+                    # association as World._rendezvous_cts)
+                    cts = t + (net.wire_latency(
+                        node_of[members[dst]],
+                        node_of[members[src]]) + cts_base)
+                    heappush(heap, (cts, 0, self.seqc, 2, arg, drv))
+                    self.seqc += 1
+                else:
+                    drv.inbox[(dst, dstep)] = ("h", src, nb)
+                continue
+            # code 2: rendezvous data phase — a real heap callback in
+            # the per-message schedule, so its NIC work belongs at heap
+            # stage even at contested timestamps
+            src, dst, dstep, nb = arg
+            free, arr = _transfer_at(net, t, members[src], members[dst], nb)
+            sa = self.seqc
+            sb = sa + 1
+            self.seqc = sa + 2
+            pe = drv.pend[src]
+            pe[1] = free
+            pe[2] = sa
+            drv._complete(src, pe)
+            pe = drv.pend[dst]
+            pe[3] = arr
+            pe[4] = sb
+            drv._complete(dst, pe)
+        if heap:
+            t0 = heap[0][0]
+            if t0 < self.wake_at:
+                eng._sched(t0, _K_CALL1, self._wake, None)
+                self.wake_at = t0
+        elif self.unfinished and not self.deferred:
+            raise SimulationError(
+                f"macro replay stalled: {self.unfinished} fully-arrived "
+                "round(s) never completed their schedule (walker bug)")
+
+
+def _macro_site(comm: "Communicator", kind: str, value: Any, prog_for,
+                results_for) -> Generator[Any, Any, Any]:
+    """Park on the round's site; the walker replays the schedule.
+
+    ``prog_for(site, r)`` builds rank r's step program at its arrival
+    (it may only touch rank r's own payload — other ranks' sizes go
+    through lazy ``nb`` callables).  ``results_for(site)`` runs once on
+    the last-arriving rank, before any exit can fire (every exit
+    strictly follows the last arrival), and returns the per-rank
+    results the walker hands to :meth:`Event.fire`.
+    """
+    desc = comm.desc
+    key = comm._op_seq
+    site = desc.sites.get(key)
+    if site is None:
+        site = _MacroSite(kind)
+        desc.sites[key] = site
+    elif site.kind != kind:
+        raise MPIError(
+            f"collective call mismatch on communicator {desc.ctx}: "
+            f"rank {comm.rank} called {kind!r} while another rank "
+            f"called {site.kind!r} at the same point (op #{key}) — "
+            "all ranks must issue collectives in the same order"
+        )
+    r = comm.rank
+    eng = comm._engine
+    site.values[r] = value
+    site.arrivals[r] = eng.now
+    site.order.append(r)
+    ev = Event(eng, ("macro", desc.ctx, key, r))
+    site.events[r] = ev
+    drv = site.driver
+    if drv is None:
+        world = comm.world
+        core = getattr(world, "_macro_walker", None)
+        if core is None:
+            core = world._macro_walker = _Walker(world)
+        drv = site.driver = _Driver(comm, site, core)
+    drv.push_initial(r, prog_for(site, r))
+    if len(site.order) == comm.size:
+        del desc.sites[key]
+        drv.results = results_for(site)
+        drv.core.unfinished += 1
+        perf_counters.macro_rounds += 1
+    drv.core.pump()
+    result = yield WaitEvent(ev)
+    return result
+
+
+# ----------------------------------------------------------------------
+# per-kind programs and results
+# ----------------------------------------------------------------------
+def _data_of(v: Any) -> Any:
+    return v.data if isinstance(v, Payload) else v
+
+
+def _block_size(v: Any, nbytes: Optional[int]) -> int:
+    if isinstance(v, Payload):
+        return v.nbytes
+    return nbytes if nbytes is not None else sizeof(v)
+
+
+def barrier(comm: "Communicator") -> Generator[Any, Any, None]:
+    if comm.size == 1 or not _usable(comm):
+        return (yield from detailed.barrier(comm))
+    p = comm.size
+
+    def prog_for(site: _MacroSite, r: int) -> list:
+        steps = []
+        k = 0
+        dist = 1
+        while dist < p:
+            steps.append(((r + dist) % p, k, 0, (r - dist) % p))
+            dist <<= 1
+            k += 1
+        return steps
+
+    return (yield from _macro_site(comm, "barrier", None, prog_for,
+                                   lambda site: [None] * p))
+
+
+def allgather(comm: "Communicator", value: Any,
+              nbytes: Optional[int]) -> Generator[Any, Any, list]:
+    if comm.size == 1 or not _usable(comm):
+        return (yield from detailed.allgather(comm, value, nbytes))
+    p = comm.size
+
+    def size_of(site: _MacroSite, j: int) -> int:
+        # forwarded block sizes are needed by every rank along the
+        # ring: memoize per origin on the site
+        sz = site.extra.get(j)
+        if sz is None:
+            sz = site.extra[j] = _block_size(site.values[j], nbytes)
+        return sz
+
+    def prog_for(site: _MacroSite, r: int) -> list:
+        right = (r + 1) % p
+        left = (r - 1) % p
+        steps = []
+        for i in range(p - 1):
+            j = (r - i) % p
+            if i == 0:
+                nb = size_of(site, r)
+            else:
+                # forwarded block: its origin's payload is known by the
+                # time the block has propagated here
+                nb = (lambda j=j: size_of(site, j))
+            steps.append((right, i, nb, left))
+        return steps
+
+    def results_for(site: _MacroSite) -> list:
+        vals = site.values
+        base = [_data_of(vals[j]) for j in range(p)]
+        results = []
+        for r in range(p):
+            out = list(base)
+            out[r] = vals[r]
+            results.append(out)
+        return results
+
+    return (yield from _macro_site(comm, "allgather", value, prog_for,
+                                   results_for))
+
+
+def alltoall(comm: "Communicator", values: list,
+             nbytes_each: Optional[int]) -> Generator[Any, Any, list]:
+    if comm.size == 1 or not _usable(comm):
+        return (yield from detailed.alltoall(comm, values, nbytes_each))
+    p = comm.size
+
+    def prog_for(site: _MacroSite, r: int) -> list:
+        v = site.values[r]
+        # index plain ints, not numpy scalars, exactly like the detailed
+        # pairwise loop; np.asarray below restores dtype
+        vr = (v.tolist() if isinstance(v, np.ndarray) and v.ndim == 1
+              else v)
+        site.extra[r] = vr
+        steps = []
+        for i in range(1, p):
+            dst = (r + i) % p
+            nb = (nbytes_each if nbytes_each is not None
+                  else sizeof(vr[dst]))
+            steps.append((dst, i - 1, nb, (r - i) % p))
+        return steps
+
+    def results_for(site: _MacroSite) -> list:
+        vals = site.extra
+        results = []
+        for r in range(p):
+            out = [vals[s][r] for s in range(p)]
+            if isinstance(site.values[r], np.ndarray):
+                out = np.asarray(out, dtype=site.values[r].dtype)
+            results.append(out)
+        return results
+
+    return (yield from _macro_site(comm, "alltoall", values, prog_for,
+                                   results_for))
+
+
+def reduce_scatter_block(comm: "Communicator", values: list, op: ReduceOp,
+                         nbytes: Optional[int]) -> Generator[Any, Any, Any]:
+    if comm.size == 1 or not _usable(comm):
+        return (yield from detailed.reduce_scatter_block(
+            comm, values, op, nbytes))
+    p = comm.size
+
+    def prog_for(site: _MacroSite, r: int) -> list:
+        vr = site.values[r]
+        steps = []
+        for i in range(1, p):
+            dst = (r + i) % p
+            nb = nbytes if nbytes is not None else sizeof(vr[dst])
+            steps.append((dst, i - 1, nb, (r - i) % p))
+        return steps
+
+    def results_for(site: _MacroSite) -> list:
+        vals = site.values
+        results = []
+        for r in range(p):
+            acc = vals[r][r]
+            for i in range(1, p):
+                acc = op(acc, vals[(r - i) % p][r])
+            results.append(acc)
+        return results
+
+    return (yield from _macro_site(
+        comm, "reduce_scatter_block", values, prog_for, results_for))
+
+
+def allreduce(comm: "Communicator", value: Any, op: ReduceOp,
+              nbytes: Optional[int]) -> Generator[Any, Any, Any]:
+    if comm.size == 1 or not _usable(comm):
+        return (yield from detailed.allreduce(comm, value, op, nbytes))
+    p = comm.size
+    pof2 = 1
+    while pof2 * 2 <= p:
+        pof2 *= 2
+    rem = p - pof2
+    nrounds = pof2.bit_length() - 1
+
+    def nb_of(v: Any) -> int:
+        return _block_size(v, nbytes)
+
+    def acc(site: _MacroSite, q: int, j: int) -> Any:
+        """Core rank q's partial reduction after j doubling rounds.
+
+        j = 0 is the post-fold value.  Memoized on the site; every
+        operand has causally arrived by the time a step's size thunk
+        (or the last arrival's results pass) asks for it.
+        """
+        memo = site.extra
+        k = (q, j)
+        if k in memo:
+            return memo[k]
+        if j == 0:
+            v = site.values[q]
+            if q < rem:
+                v = op(v, _data_of(site.values[q + pof2]))
+        else:
+            mask = 1 << (j - 1)
+            mine = acc(site, q, j - 1)
+            theirs = acc(site, q ^ mask, j - 1)
+            v = op(mine, _data_of(theirs))
+        memo[k] = v
+        return v
+
+    def prog_for(site: _MacroSite, r: int) -> list:
+        if r >= pof2:
+            # folder: push own value into the core, wait for the result
+            return [(r - pof2, 0, nb_of(site.values[r]), -1),
+                    (-1, 0, 0, r - pof2)]
+        steps = []
+        if r < rem:
+            steps.append((-1, 0, 0, r + pof2))
+        for j in range(nrounds):
+            partner = r ^ (1 << j)
+            dstep = (1 if partner < rem else 0) + j
+            steps.append((partner, dstep,
+                          (lambda q=r, j=j: nb_of(acc(site, q, j))),
+                          partner))
+        if r < rem:
+            steps.append((r + pof2, 1,
+                          (lambda q=r: nb_of(acc(site, q, nrounds))), -1))
+        return steps
+
+    def results_for(site: _MacroSite) -> list:
+        return [acc(site, r, nrounds) if r < pof2
+                else _data_of(acc(site, r - pof2, nrounds))
+                for r in range(p)]
+
+    return (yield from _macro_site(comm, "allreduce", value, prog_for,
+                                   results_for))

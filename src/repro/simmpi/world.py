@@ -18,9 +18,11 @@ from repro.cluster.machine import Machine, MachineConfig
 from repro.cluster.network import NetworkModel, NetworkParams
 from repro.cluster.topology import Torus3D
 from repro.errors import MPIError, ParCollError, TaskFailedError
+from repro.perf import perf_counters
 from repro.sim.effects import Sleep, WaitEvent
 from repro.sim.engine import _K_CALL1, _K_FIRE, Engine, Event
 from repro.simmpi import analytic, collectives_detailed as detailed
+from repro.simmpi import collectives_macro as macro
 from repro.simmpi.backends import CollectiveBackend, resolve_backend
 from repro.simmpi.p2p import (ANY_SOURCE, ANY_TAG, Mailbox, Message,
                               PostedRecv, Request, RTS_BYTES, Status, waitall)
@@ -173,6 +175,75 @@ class World:
             eng._sched(hdr_arrival, _K_CALL1, self._deliver, msg)
         return send_event
 
+    def send_batch(self, src: int,
+                   entries: list[tuple[int, int, int, Payload]]
+                   ) -> list[Request]:
+        """Start many messages from one rank at once; returns requests.
+
+        ``entries`` are ``(dst, ctx, tag, payload)`` tuples in issue
+        order (world ranks).  Runs of consecutive eager-sized messages
+        coalesce: their NIC reservations go through one vectorized
+        :meth:`NetworkModel.transfer_batch`, one shared completion event
+        fires when the last byte leaves the sender, and the deliveries
+        drain through one rolling scheduler entry
+        (:meth:`Engine.schedule_batch`) in arrival order.  Rendezvous
+        payloads keep the per-message protocol — their schedule depends
+        on receiver matching, which is not known up-front.
+
+        Waiting on all returned requests completes at the same virtual
+        time as issuing ``len(entries)`` :meth:`send_message` calls in
+        the same order; callers must not depend on *individual* eager
+        request completions (they share one event).  Intended for
+        macro-coalesced exchange rounds, where per-round message sets
+        are static; the default per-message fidelities never call it.
+        """
+        eng = self.engine
+        net = self.network
+        nprocs = self.nprocs
+        requests: list[Request] = []
+        n = len(entries)
+        i = 0
+        coalesced = 0
+        while i < n:
+            dst = entries[i][0]
+            if not 0 <= dst < nprocs:
+                raise MPIError(f"destination rank {dst} out of range")
+            if entries[i][3].nbytes > self._eager_threshold:
+                dst, ctx, tag, payload = entries[i]
+                requests.append(
+                    Request(self.send_message_ev(src, dst, ctx, tag,
+                                                 payload)))
+                i += 1
+                continue
+            j = i
+            while (j < n and entries[j][3].nbytes <= self._eager_threshold):
+                if not 0 <= entries[j][0] < nprocs:
+                    raise MPIError(
+                        f"destination rank {entries[j][0]} out of range")
+                j += 1
+            run = entries[i:j]
+            frees, arrivals = net.transfer_batch(
+                src, [e[0] for e in run], [e[3].nbytes for e in run])
+            self._msg_seq += 1
+            ev = Event(eng, ("sendbatch", self._msg_seq, src))
+            msgs = []
+            for dst, ctx, tag, payload in run:
+                self._msg_seq += 1
+                msgs.append(Message(ctx, src, dst, tag, payload, False,
+                                    None, self._msg_seq))
+            eng._sched(float(frees.max()), _K_FIRE, ev, None)
+            order = np.argsort(arrivals, kind="stable")
+            eng.schedule_batch(
+                [(float(arrivals[k]), self._deliver, msgs[k])
+                 for k in order])
+            requests.append(Request(ev))
+            coalesced += len(run)
+            i = j
+        if coalesced:
+            perf_counters.macro_rounds += 1
+            perf_counters.messages_coalesced += coalesced
+        return requests
+
     def post_recv(self, dst: int, ctx: int, src: int, tag: int) -> Request:
         """Post a receive on rank ``dst``; request value is (payload, status)."""
         return Request(self.post_recv_ev(dst, ctx, src, tag))
@@ -250,7 +321,8 @@ class World:
         """Run ``program(comm_world)`` on every rank; returns per-rank results."""
         ranks = list(range(self.nprocs)) if ranks is None else ranks
         tasks = [
-            self.engine.spawn(program(self.procs[r].comm_world), name=f"rank-{r}")
+            self.engine.spawn(program(self.procs[r].comm_world),
+                              name=("rank", r))
             for r in ranks
         ]
         try:
@@ -344,6 +416,23 @@ class Communicator:
         ctx = self.desc.ctx if _ctx is None else _ctx
         return self.world.send_message(self.proc.rank, self.world_rank(dest),
                                        ctx, tag, payload)
+
+    def isend_batch(self, items: list[tuple[int, Any]],
+                    tag: int = 0) -> list[Request]:
+        """Batched :meth:`isend`: ``items`` are ``(dest, payload)`` pairs.
+
+        Thin wrapper over :meth:`World.send_batch`; see its contract.
+        Exchange rounds use this when the communicator's ``exchange``
+        fidelity is ``macro`` — the round's sends coalesce into one
+        vectorized NIC schedule instead of per-message events.
+        """
+        ctx = self.desc.ctx
+        entries = [
+            (self.world_rank(dest),
+             ctx, tag, obj if isinstance(obj, Payload) else Payload.of(obj))
+            for dest, obj in items
+        ]
+        return self.world.send_batch(self.proc.rank, entries)
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
               _ctx: Optional[int] = None) -> Request:
@@ -482,7 +571,8 @@ class Communicator:
     def _collective(self, category: str,
                     analytic_path: Callable[[], Generator],
                     detailed_path: Callable[[], Generator],
-                    nbytes: Optional[int] = None
+                    nbytes: Optional[int] = None,
+                    macro_path: Optional[Callable[[], Generator]] = None
                     ) -> Generator[Any, Any, Any]:
         """Run one collective through the backend-selected path.
 
@@ -505,6 +595,13 @@ class Communicator:
         it).  Size-aware backends dispatch on it; it must be the declared
         parameter verbatim — never a locally-computed ``sizeof`` — so
         every rank hands the backend the same number.
+
+        ``macro_path`` is the coalesced closed-form replay of the
+        detailed schedule; only the synchronizing collectives provide
+        one (a rank may leave bcast/reduce/gather/scatter/scan before
+        every rank has entered, which a site-based replay cannot model),
+        so under the ``macro`` fidelity the rest fall back to the
+        detailed path — a kind-based, rank-symmetric decision.
         """
         self._op_state[0] += 1
         t0 = self.now
@@ -517,11 +614,13 @@ class Communicator:
             path = analytic_path
         elif fid == "detailed":
             path = detailed_path
+        elif fid == "macro":
+            path = macro_path if macro_path is not None else detailed_path
         else:
             raise MPIError(
                 f"backend {self.backend.describe()!r} selected unknown "
                 f"fidelity {fid!r} for category {category!r}; "
-                f"expected one of ['analytic', 'detailed']"
+                f"expected one of ['analytic', 'detailed', 'macro']"
             )
         result = yield from path()
         self._charge(category, t0)
@@ -539,7 +638,8 @@ class Communicator:
             )
 
         return (yield from self._collective(
-            category, a, lambda: detailed.barrier(self), nbytes=0))
+            category, a, lambda: detailed.barrier(self), nbytes=0,
+            macro_path=lambda: macro.barrier(self)))
 
     def bcast(self, obj: Any, root: int = 0, nbytes: Optional[int] = None,
               category: str = "sync") -> Generator[Any, Any, Any]:
@@ -597,7 +697,8 @@ class Communicator:
             lambda: self._analytic_site(value, combine, cost,
                                         kind="allreduce"),
             lambda: detailed.allreduce(self, value, op, nbytes),
-            nbytes=nbytes))
+            nbytes=nbytes,
+            macro_path=lambda: macro.allreduce(self, value, op, nbytes)))
 
     def gather(self, value: Any, root: int = 0, nbytes: Optional[int] = None,
                category: str = "sync") -> Generator[Any, Any, Optional[list]]:
@@ -641,7 +742,8 @@ class Communicator:
             category,
             analytic_site,
             lambda: detailed.allgather(self, value, nbytes),
-            nbytes=nbytes))
+            nbytes=nbytes,
+            macro_path=lambda: macro.allgather(self, value, nbytes)))
 
     def alltoall(self, values: list, nbytes_each: Optional[int] = None,
                  category: str = "sync") -> Generator[Any, Any, list]:
@@ -675,7 +777,8 @@ class Communicator:
             category,
             analytic_site,
             lambda: detailed.alltoall(self, values, nbytes_each),
-            nbytes=nbytes_each))
+            nbytes=nbytes_each,
+            macro_path=lambda: macro.alltoall(self, values, nbytes_each)))
 
     def scatter(self, values: Optional[list] = None, root: int = 0,
                 nbytes: Optional[int] = None,
@@ -726,7 +829,9 @@ class Communicator:
             lambda: self._analytic_site(values, combine, cost,
                                         kind="reduce_scatter_block"),
             lambda: detailed.reduce_scatter_block(self, values, op, nbytes),
-            nbytes=nbytes))
+            nbytes=nbytes,
+            macro_path=lambda: macro.reduce_scatter_block(
+                self, values, op, nbytes)))
 
     def exscan(self, value: Any, op: ReduceOp = SUM,
                nbytes: Optional[int] = None,

@@ -47,7 +47,9 @@ from repro.workloads.synthetic import (SyntheticConfig, file_bytes_total,
 BACKENDS = (
     "analytic",
     "detailed",
+    "macro",
     "hybrid:sync=analytic,default=detailed",
+    "hybrid:sync=macro,default=detailed",
     "sizethreshold:2048",
 )
 
