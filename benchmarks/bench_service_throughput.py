@@ -1,0 +1,233 @@
+"""End-to-end throughput of the simulation service: cold vs warm vs
+coalesced.
+
+Hosts a real :class:`~repro.service.server.SimulationServer` on a
+background thread and drives it with concurrent
+:class:`~repro.service.client.ServiceClient` threads across two
+tenants, measuring three regimes:
+
+* ``cold``      — N distinct descriptors, empty cache: every job
+  executes (jobs/sec is dominated by simulation time + pool dispatch);
+* ``warm``      — the same N descriptors resubmitted: every job is a
+  submit-time cache hit (jobs/sec measures pure service overhead:
+  HTTP parse, descriptor validation, cache probe);
+* ``duplicate`` — 2 tenants x N submissions of the *same* descriptors
+  racing: coalescing + the warm cache answer all but the first
+  executions (the measured coalescing ratio is reported).
+
+Every wire result is checked bit-identical to direct
+``ExperimentExecutor`` execution (simulated state only — host-side
+perf wall-clock is excluded).  Results land in
+``BENCH_service_throughput.json`` at the repo root.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --smoke
+
+``--smoke`` is the CI gate: a tiny duplicate pair from two tenants must
+yield exactly one execution plus one coalesce-or-warm-hit, bit-identical
+results, and a clean shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.harness.parallel import ExperimentExecutor, ExperimentTask, RunCache
+from repro.harness.runner import ExperimentConfig
+from repro.service import ServerThread, ServiceClient, result_to_dict
+from repro.workloads import TileIOConfig
+
+WORKERS = int(os.environ.get("REPRO_JOBS", "4") or 4)
+POINTS = 8
+OUT = pathlib.Path(__file__).resolve().parent.parent \
+    / "BENCH_service_throughput.json"
+
+
+def build_tasks(n: int = POINTS) -> list[ExperimentTask]:
+    """n distinct small experiment points (distinct cache keys)."""
+    tasks = []
+    for i in range(n):
+        wl = TileIOConfig(tile_rows=16 + 4 * i, tile_cols=16,
+                          element_size=16)
+        cfg = ExperimentConfig(
+            nprocs=8, lustre={"n_osts": 4, "default_stripe_count": 4})
+        tasks.append(ExperimentTask(cfg, "tile_io", wl))
+    return tasks
+
+
+def sim_state(doc: dict) -> dict:
+    """The deterministic part of a wire result (drops host wall-clock)."""
+    return {k: v for k, v in doc.items() if k != "perf"}
+
+
+def submit_and_wait(client: ServiceClient, tenant: str,
+                    task: ExperimentTask) -> dict:
+    job = client.submit(task, tenant=tenant, retries=5)
+    return client.wait(job["id"], timeout=300)
+
+
+def drive(client: ServiceClient,
+          submissions: list[tuple[str, ExperimentTask]],
+          threads: int) -> tuple[float, list[dict]]:
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        outs = list(pool.map(
+            lambda s: submit_and_wait(client, s[0], s[1]), submissions))
+    return time.perf_counter() - t0, outs
+
+
+def check_identical(outs: list[dict],
+                    expected: dict[int, dict],
+                    keys: list[int]) -> bool:
+    for out, key in zip(outs, keys):
+        if out["state"] != "done":
+            return False
+        if sim_state(out["result"]) != expected[key]:
+            return False
+    return True
+
+
+def run_bench() -> int:
+    tasks = build_tasks()
+    keys = [hash(t.cache_key()) for t in tasks]
+    direct = ExperimentExecutor(jobs=1, cache=False).run_many(tasks)
+    expected = {k: sim_state(json.loads(json.dumps(result_to_dict(r))))
+                for k, r in zip(keys, direct)}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with ServerThread(workers=WORKERS, pool="process",
+                          cache=RunCache(tmp), max_queue=256) as srv:
+            client = ServiceClient(srv.url)
+
+            cold_subs = [("acme", t) for t in tasks]
+            cold_s, cold_outs = drive(client, cold_subs, threads=POINTS)
+            cold_ok = check_identical(cold_outs, expected, keys)
+            print(f"cold: {len(tasks)} jobs in {cold_s:6.3f}s "
+                  f"({len(tasks) / cold_s:6.1f} jobs/s)")
+
+            warm_subs = [("zeta", t) for t in tasks]
+            warm_s, warm_outs = drive(client, warm_subs, threads=POINTS)
+            warm_ok = check_identical(warm_outs, expected, keys)
+            print(f"warm: {len(tasks)} jobs in {warm_s:6.3f}s "
+                  f"({len(tasks) / warm_s:6.1f} jobs/s)")
+            mid = client.metrics()
+
+        # duplicate regime on a fresh server/cache: 2 tenants race the
+        # same descriptors, so all but the first execution of each key
+        # is answered by coalescing or the just-filled cache
+        with tempfile.TemporaryDirectory() as tmp2, \
+                ServerThread(workers=WORKERS, pool="process",
+                             cache=RunCache(tmp2),
+                             max_queue=256) as srv:
+            client = ServiceClient(srv.url)
+            dup_subs = [(tenant, t) for tenant in ("acme", "zeta")
+                        for t in tasks]
+            dup_s, dup_outs = drive(client, dup_subs,
+                                    threads=len(dup_subs))
+            dup_ok = check_identical(dup_outs, expected, keys + keys)
+            metrics = client.metrics()
+
+    counters = metrics["counters"]
+    coalesce_ratio = ((counters["coalesced"] + counters["cache_hits"])
+                      / max(1, counters["accepted"]))
+    print(f"duplicate: {len(dup_subs)} jobs in {dup_s:6.3f}s, "
+          f"{counters['executions']} executions, "
+          f"{counters['coalesced']} coalesced, "
+          f"{counters['cache_hits']} warm hits "
+          f"(coalescing ratio {coalesce_ratio:.2f})")
+
+    identical = cold_ok and warm_ok and dup_ok
+    if not identical:
+        print("FAIL: service results disagree with direct execution",
+              file=sys.stderr)
+    if counters["executions"] != len(tasks):
+        print(f"FAIL: expected {len(tasks)} executions in the duplicate "
+              f"regime, measured {counters['executions']}",
+              file=sys.stderr)
+        identical = False
+
+    out = {
+        "benchmark": "service_throughput",
+        "workload": f"{POINTS} distinct tile-IO points, 2 tenants",
+        "python": platform.python_version(),
+        "host_cpus": os.cpu_count() or 1,
+        "workers": WORKERS,
+        "points": POINTS,
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "duplicate_s": round(dup_s, 3),
+        "cold_jobs_per_s": round(len(tasks) / cold_s, 1),
+        "warm_jobs_per_s": round(len(tasks) / warm_s, 1),
+        "duplicate_jobs_per_s": round(len(dup_subs) / dup_s, 1),
+        "duplicate_executions": counters["executions"],
+        "duplicate_coalesced": counters["coalesced"],
+        "duplicate_cache_hits": counters["cache_hits"],
+        "coalescing_ratio": round(coalesce_ratio, 3),
+        "warm_cache_hits_after_cold": mid["counters"]["cache_hits"],
+        "bit_identical_vs_direct": identical,
+        "note": ("warm jobs/sec measures pure service overhead (parse + "
+                 "validate + cache probe); cold is bounded by simulation "
+                 "time over `workers` pool slots"),
+    }
+    OUT.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"\nwarm/cold speedup {cold_s / warm_s:.1f}x; wrote {OUT}")
+    return 0 if identical else 1
+
+
+def run_smoke() -> int:
+    """The CI `service-smoke` gate: duplicate pair, one execution."""
+    task = build_tasks(1)[0]
+    direct = ExperimentExecutor(jobs=1, cache=False).run(task)
+    expected = sim_state(json.loads(json.dumps(result_to_dict(direct))))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with ServerThread(workers=2, pool="process",
+                          cache=RunCache(tmp)) as srv:
+            client = ServiceClient(srv.url)
+            _, outs = drive(client, [("acme", task), ("zeta", task)],
+                            threads=2)
+            metrics = client.metrics()
+        # leaving the context manager is the clean-shutdown check:
+        # ServerThread.stop() drains and joins the server thread
+    counters = metrics["counters"]
+    failures = []
+    if [o["state"] for o in outs] != ["done", "done"]:
+        failures.append(f"job states: {[o['state'] for o in outs]}")
+    if counters["executions"] != 1:
+        failures.append(f"expected 1 execution, measured "
+                        f"{counters['executions']}")
+    if counters["coalesced"] + counters["cache_hits"] != 1:
+        failures.append("expected the duplicate to coalesce or hit the "
+                        f"warm cache, counters={counters}")
+    for out in outs:
+        if sim_state(out["result"]) != expected:
+            failures.append("wire result differs from direct execution")
+            break
+    if failures:
+        for f in failures:
+            print(f"SMOKE FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"service smoke OK: 2 tenants, 1 execution, "
+          f"{counters['coalesced']} coalesced + "
+          f"{counters['cache_hits']} warm hit, clean shutdown")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if "--smoke" in args:
+        return run_smoke()
+    return run_bench()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

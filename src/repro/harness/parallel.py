@@ -227,6 +227,30 @@ def default_cache_dir() -> pathlib.Path:
     return root / "benchmarks" / ".runcache"
 
 
+@dataclass
+class CacheStats:
+    """Observable counters of one :class:`RunCache` instance.
+
+    ``corrupt`` counts corrupted-entry fallbacks: entries that existed
+    on disk but failed to unpickle (truncated write, version skew) and
+    were dropped and recomputed.  Every corrupt fallback also counts as
+    a miss.  The service ``/metrics`` endpoint and ``run_report`` read
+    these same counters.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def describe(self) -> str:
+        return (f"{self.hits} hits, {self.misses} misses, "
+                f"{self.stores} stores, {self.corrupt} corrupt drops")
+
+
 class RunCache:
     """Content-addressed pickle store of :class:`RunResult` objects.
 
@@ -237,13 +261,23 @@ class RunCache:
     skew) are treated as misses and deleted; writes are atomic
     (temp file + :func:`os.replace`), so concurrent workers can share
     one cache directory safely.
+
+    ``stats`` holds the instance's :class:`CacheStats` (hit / miss /
+    store / corrupt-fallback counters).
     """
 
     def __init__(self, root: Optional[os.PathLike | str] = None):
         self.root = pathlib.Path(root) if root is not None else default_cache_dir()
-        self.hits = 0
-        self.misses = 0
+        self.stats = CacheStats()
         self._broken = False  # set when the directory is unwritable
+
+    @property
+    def hits(self) -> int:
+        return self.stats.hits
+
+    @property
+    def misses(self) -> int:
+        return self.stats.misses
 
     def _path(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -254,7 +288,7 @@ class RunCache:
             with open(path, "rb") as fh:
                 result = pickle.load(fh)
         except FileNotFoundError:
-            self.misses += 1
+            self.stats.misses += 1
             return None
         except Exception:
             # corrupted entry: drop it and recompute
@@ -262,12 +296,14 @@ class RunCache:
                 path.unlink()
             except OSError:
                 pass
-            self.misses += 1
+            self.stats.corrupt += 1
+            self.stats.misses += 1
             return None
         if not isinstance(result, RunResult):
-            self.misses += 1
+            self.stats.corrupt += 1
+            self.stats.misses += 1
             return None
-        self.hits += 1
+        self.stats.hits += 1
         return result
 
     def put(self, key: str, result: RunResult) -> None:
@@ -287,6 +323,7 @@ class RunCache:
                 except OSError:
                     pass
                 raise
+            self.stats.stores += 1
         except OSError:
             # read-only checkout, full disk, ...: degrade to compute-only
             self._broken = True

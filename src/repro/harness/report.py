@@ -42,11 +42,15 @@ def breakdown_table(breakdown: dict, title: str | None = None) -> str:
     return format_table(headers, rows, title=title)
 
 
-def run_report(result: Any, title: str | None = None) -> str:
+def run_report(result: Any, title: str | None = None,
+               cache: Any = None) -> str:
     """One run's summary: bandwidth, platform counters, full breakdown.
 
     ``result`` is a :class:`~repro.harness.runner.RunResult`; the
-    breakdown table includes per-category operation counts.
+    breakdown table includes per-category operation counts.  ``cache``
+    is an optional :class:`~repro.harness.parallel.RunCache` (or its
+    ``CacheStats``) whose hit/miss/store/corrupt counters are appended —
+    the same counters the service ``/metrics`` endpoint exposes.
     """
     cfg = result.config
     lines = [title or f"run: {cfg.nprocs} procs, backend {result.backend}"]
@@ -58,6 +62,9 @@ def run_report(result: Any, title: str | None = None) -> str:
     if perf is not None:
         lines.append("  sim perf: " + "   ".join(
             f"{label} {value}" for label, value in perf.lines()))
+    if cache is not None:
+        stats = getattr(cache, "stats", cache)
+        lines.append(f"  run cache: {stats.describe()}")
     validation = getattr(result, "validation", None)
     if validation is not None:
         checks = validation.get("checks", {})

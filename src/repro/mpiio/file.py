@@ -350,8 +350,9 @@ class MPIFile:
         n = self._data_nbytes(data, nbytes)
         segs = self._access(offset_et, n)
         payload = self._as_bytes(data)
+        token = None
         if self._validator is not None:
-            self._validator.record_write(self.lfile, segs, payload)
+            token = self._validator.record_write(self.lfile, segs, payload)
             if data_sieving:
                 # sieve windows read-modify-write bytes outside segs
                 self._validator.shadow(
@@ -365,7 +366,9 @@ class MPIFile:
             written = yield from independent_write(self._env(), segs,
                                                    payload)
         if self._validator is not None:
-            self._validator.after_write(self.lfile)
+            # the calling rank applied its own bytes, so call return
+            # means the write landed: retire its happens-before token
+            self._validator.after_write(self.lfile, token)
         return written
 
     def read_at(self, offset_et: int, nbytes: int, data_sieving: bool = False
@@ -373,8 +376,13 @@ class MPIFile:
         """Independent read at an explicit offset (etype units)."""
         self._check_open()
         segs = self._access(offset_et, nbytes)
-        return (yield from independent_read(self._env(), segs,
-                                            data_sieving=data_sieving))
+        out = yield from independent_read(self._env(), segs,
+                                          data_sieving=data_sieving)
+        if self._validator is not None:
+            # oracle-checked only when the read provably happens after
+            # every overlapping write (shadow happens-before tracker)
+            self._validator.check_independent_read(self.lfile, segs, out)
+        return out
 
     # ------------------------------------------------------------------
     def close(self) -> Generator[Any, Any, Optional[dict]]:

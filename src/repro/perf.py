@@ -47,6 +47,21 @@ class PerfStats:
     macro_rounds: int = 0
     #: per-message simulation steps replaced by macro schedules
     messages_coalesced: int = 0
+    #: run-cache counters (populated by batch-level aggregation — the
+    #: executor and the service fold :class:`~repro.harness.parallel.
+    #: CacheStats` in via :func:`add_cache`; zero on single runs)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+    cache_corrupt: int = 0
+
+    def add_cache(self, stats) -> "PerfStats":
+        """Fold a :class:`~repro.harness.parallel.CacheStats` in."""
+        self.cache_hits += stats.hits
+        self.cache_misses += stats.misses
+        self.cache_stores += stats.stores
+        self.cache_corrupt += stats.corrupt
+        return self
 
     @property
     def events_per_sec(self) -> float:
@@ -64,6 +79,8 @@ class PerfStats:
                 if v:
                     out.append(("wall seconds", f"{v:.3f}"))
                 continue
+            if f.name.startswith("cache_") and not v:
+                continue  # cache counters only exist on aggregated stats
             out.append((f.name.replace("_", " "), f"{v:,}"))
         if self.wall_seconds > 0:
             out.append(("events per sec", f"{self.events_per_sec:,.0f}"))

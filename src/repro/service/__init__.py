@@ -1,0 +1,64 @@
+"""Simulation-as-a-service: an async job server over the experiment pool.
+
+The ROADMAP's serving arc, productized: the picklable
+:class:`~repro.harness.parallel.ExperimentTask` descriptors, the
+content-addressed :class:`~repro.harness.parallel.RunCache`, and the
+``run_many`` process pool already make every simulation a pure,
+replayable function of its descriptor — this package puts a long-running
+multi-tenant server in front of them (ViPIOS-style: dedicated server
+processes mediating every request).  Stdlib only: ``asyncio`` plus a
+minimal HTTP/1.0 JSON protocol.
+
+Modules:
+
+:mod:`repro.service.protocol`
+    the wire format — descriptor parsing/validation against the
+    config/registry machinery, task and result (de)serialization;
+:mod:`repro.service.jobs`
+    job records, lifecycle states, and the event log each job accretes
+    (``queued`` → ``running`` → ``done``/``failed``);
+:mod:`repro.service.scheduler`
+    bounded per-tenant FIFO queues with least-served-first fair-share
+    picking and explicit backpressure (:class:`QueueFullError`);
+:mod:`repro.service.metrics`
+    service counters: throughput, cache hit/miss/coalesce, per-tenant
+    stats, scheduler fairness;
+:mod:`repro.service.server`
+    the asyncio server: request coalescing (identical in-flight cache
+    keys share one execution), shared dedup'd run cache, dispatch into
+    the process pool, event streaming, ``/metrics``;
+:mod:`repro.service.client`
+    a blocking client (``http.client``) for scripts, tests, and the
+    ``repro submit|jobs|result`` CLI verbs.
+
+See ``docs/service.md`` for the protocol, tenancy, backpressure
+semantics, and failure modes.
+"""
+
+from repro.service.client import BackpressureError, ServiceClient, ServiceError
+from repro.service.jobs import Job, JobState, JobStore
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (DescriptorError, parse_submit, parse_task,
+                                    result_to_dict, task_to_dict)
+from repro.service.scheduler import FairScheduler, QueueFullError
+from repro.service.server import ServerThread, ServiceConfig, SimulationServer
+
+__all__ = [
+    "BackpressureError",
+    "DescriptorError",
+    "FairScheduler",
+    "Job",
+    "JobState",
+    "JobStore",
+    "QueueFullError",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceMetrics",
+    "SimulationServer",
+    "parse_submit",
+    "parse_task",
+    "result_to_dict",
+    "task_to_dict",
+]

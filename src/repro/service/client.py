@@ -1,0 +1,189 @@
+"""A blocking client for the simulation service (stdlib ``http.client``).
+
+One HTTP connection per request (the server speaks ``Connection:
+close``), so a single :class:`ServiceClient` is safe to share across
+threads — each call opens its own socket.
+
+Backpressure is a first-class outcome, not an exception to hide: a 429
+raises :class:`BackpressureError` carrying the server's ``Retry-After``
+estimate, and :meth:`ServiceClient.submit` can optionally honor it with
+bounded retries.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Any, Iterator, Optional, Union
+from urllib.parse import urlencode, urlsplit
+
+from repro.errors import ReproError
+from repro.harness.parallel import ExperimentTask
+from repro.service.protocol import task_to_dict
+
+
+class ServiceError(ReproError):
+    """A non-2xx service response."""
+
+    def __init__(self, status: int, payload: Any):
+        self.status = status
+        self.payload = payload if isinstance(payload, dict) else {}
+        detail = self.payload.get("error") or self.payload or payload
+        super().__init__(f"service returned {status}: {detail}")
+
+
+class BackpressureError(ServiceError):
+    """HTTP 429 — the queue is full; retry after ``retry_after``s."""
+
+    def __init__(self, status: int, payload: Any, retry_after: float):
+        super().__init__(status, payload)
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Talks to one :class:`~repro.service.server.SimulationServer`."""
+
+    def __init__(self, url: str = "http://127.0.0.1:8642",
+                 timeout: float = 120.0):
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8642
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _open(self, method: str, path: str,
+              body: Optional[dict] = None) -> tuple[int, Any, HTTPConnection]:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=data, headers=headers)
+        response = conn.getresponse()
+        return response.status, response, conn
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> Any:
+        status, response, conn = self._open(method, path, body)
+        try:
+            raw = response.read()
+        finally:
+            conn.close()
+        try:
+            payload = json.loads(raw.decode() or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            payload = {"error": raw.decode(errors="replace")}
+        if status == 429:
+            retry_after = float(response.headers.get(
+                "Retry-After", payload.get("retry_after", 1)))
+            raise BackpressureError(status, payload, retry_after)
+        if status >= 400:
+            raise ServiceError(status, payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def submit(self, task: Union[ExperimentTask, dict],
+               tenant: str = "default", retries: int = 0,
+               max_retry_wait: float = 30.0) -> dict:
+        """Submit one task; returns the accepted job document.
+
+        ``task`` is an :class:`ExperimentTask` or an already-serialized
+        descriptor dict.  With ``retries > 0`` a 429 is retried after
+        the server's ``Retry-After`` advice (capped at
+        ``max_retry_wait`` per attempt); the final 429 propagates as
+        :class:`BackpressureError`.
+        """
+        descriptor = (task_to_dict(task)
+                      if isinstance(task, ExperimentTask) else task)
+        body = {"tenant": tenant, "task": descriptor}
+        attempt = 0
+        while True:
+            try:
+                return self._request("POST", "/jobs", body)["job"]
+            except BackpressureError as exc:
+                if attempt >= retries:
+                    raise
+                attempt += 1
+                time.sleep(min(exc.retry_after, max_retry_wait))
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def jobs(self, tenant: Optional[str] = None) -> list[dict]:
+        path = "/jobs"
+        if tenant is not None:
+            path += "?" + urlencode({"tenant": tenant})
+        return self._request("GET", path)["jobs"]
+
+    def result(self, job_id: str) -> dict:
+        """The terminal outcome: ``{'state', 'result' | 'error', 'job'}``.
+
+        Raises :class:`ServiceError` (409) while the job is still
+        queued or running — use :meth:`wait` to block until terminal.
+        """
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def events(self, job_id: str,
+               follow: bool = True) -> Iterator[dict]:
+        """Yield the job's lifecycle events (following until terminal)."""
+        path = f"/jobs/{job_id}/events"
+        if not follow:
+            path += "?follow=0"
+        status, response, conn = self._open("GET", path)
+        try:
+            if status >= 400:
+                raw = response.read()
+                try:
+                    payload = json.loads(raw.decode() or "null")
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    payload = {"error": raw.decode(errors="replace")}
+                raise ServiceError(status, payload)
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str,
+             timeout: Optional[float] = None) -> dict:
+        """Block until the job is terminal; returns :meth:`result`.
+
+        Follows the event stream (no polling); ``timeout`` bounds the
+        total wait.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            for event in self.events(job_id):
+                if event.get("state") in ("done", "failed"):
+                    return self.result(job_id)
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"job {job_id} not terminal after {timeout}s")
+            # stream ended without a terminal event (server poll tick or
+            # restart of the stream); re-check unless out of time
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} not terminal after {timeout}s")
+            state = self.job(job_id)["state"]
+            if state in ("done", "failed"):
+                return self.result(job_id)
+            time.sleep(0.05)
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")

@@ -1,0 +1,150 @@
+"""Job records: ids, lifecycle states, event logs, the in-memory store.
+
+A job's life is ``queued → running → done`` (or ``failed``); every
+transition appends to the job's event log, which the server's
+``/jobs/<id>/events`` endpoint replays and follows.  Two special births
+skip the queue entirely:
+
+* a **cache** job (``source='cache'``) was warm in the shared
+  :class:`~repro.harness.parallel.RunCache` at submit time and is born
+  ``done``;
+* a **coalesced** job (``source='coalesced'``) matched an in-flight
+  job's cache key; it holds no queue slot and mirrors its primary's
+  lifecycle, sharing the single execution's result.
+
+States are plain strings (JSON-friendly); :class:`JobState` just names
+them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+from repro.harness.parallel import ExperimentTask
+from repro.harness.runner import RunResult
+
+
+class JobState:
+    """The lifecycle states (plain strings on the wire)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    #: states a job never leaves
+    TERMINAL = (DONE, FAILED)
+
+
+class Job:
+    """One submitted simulation request."""
+
+    __slots__ = ("id", "tenant", "task", "key", "state", "source",
+                 "created", "started", "finished", "result", "error",
+                 "events", "followers", "coalesced_with", "_seq")
+
+    def __init__(self, job_id: str, tenant: str, task: ExperimentTask,
+                 key: str):
+        self.id = job_id
+        self.tenant = tenant
+        self.task = task
+        #: the content-addressed cache key — also the coalescing identity
+        self.key = key
+        self.state = JobState.QUEUED
+        #: how the result was (or will be) obtained:
+        #: 'executed' | 'cache' | 'coalesced'
+        self.source = "executed"
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.result: Optional[RunResult] = None
+        #: {'type', 'message', 'traceback'} of a failed execution
+        self.error: Optional[dict] = None
+        #: lifecycle + progress event log (replayed by the events stream)
+        self.events: list[dict] = []
+        #: coalesced jobs riding on this primary's execution
+        self.followers: list["Job"] = []
+        #: primary job id when this job is itself coalesced
+        self.coalesced_with: Optional[str] = None
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def add_event(self, kind: str, **detail: Any) -> dict:
+        self._seq += 1
+        event = {"seq": self._seq, "t": time.time(), "job": self.id,
+                 "event": kind, "state": self.state}
+        if detail:
+            event.update(detail)
+        self.events.append(event)
+        return event
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    def set_state(self, state: str, **detail: Any) -> dict:
+        self.state = state
+        if state == JobState.RUNNING and self.started is None:
+            self.started = time.time()
+        if state in JobState.TERMINAL and self.finished is None:
+            self.finished = time.time()
+        return self.add_event(state, **detail)
+
+    def finish(self, result: RunResult, **detail: Any) -> dict:
+        self.result = result
+        return self.set_state(JobState.DONE, **detail)
+
+    def fail(self, error: dict, **detail: Any) -> dict:
+        self.error = error
+        return self.set_state(JobState.FAILED,
+                              error=error.get("message", ""), **detail)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "id": self.id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "source": self.source,
+            "workload": self.task.workload,
+            "nprocs": self.task.config.nprocs,
+            "key": self.key,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+        }
+        if self.coalesced_with is not None:
+            out["coalesced_with"] = self.coalesced_with
+        if self.followers:
+            out["followers"] = [f.id for f in self.followers]
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class JobStore:
+    """In-memory index of every job the server has accepted."""
+
+    def __init__(self) -> None:
+        self._jobs: dict[str, Job] = {}
+        self._order: list[Job] = []
+        self._next_id = 0
+
+    def create(self, tenant: str, task: ExperimentTask, key: str) -> Job:
+        self._next_id += 1
+        job = Job(f"j{self._next_id:06d}", tenant, task, key)
+        self._jobs[job.id] = job
+        self._order.append(job)
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def list(self, tenant: Optional[str] = None) -> list[Job]:
+        if tenant is None:
+            return list(self._order)
+        return [j for j in self._order if j.tenant == tenant]
+
+    def __len__(self) -> int:
+        return len(self._jobs)

@@ -1,0 +1,106 @@
+"""Service observability: counters behind the ``/metrics`` endpoint.
+
+Three layers fold into one snapshot:
+
+* **service counters** — submissions, completions, failures, 429
+  rejections, coalesced requests, per-tenant throughput;
+* **run-cache counters** — the shared
+  :class:`~repro.harness.parallel.CacheStats` (hit / miss / store /
+  corrupt-fallback), the same counters ``run_report`` renders;
+* **simulation counters** — a :class:`~repro.perf.PerfStats` aggregate
+  merged over every execution the service actually ran (cache hits and
+  coalesced jobs add nothing here — that is the point).
+
+Plus queue depths and scheduler fairness sampled live at snapshot time.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import Any, Optional
+
+from repro import perf as perf_mod
+from repro.perf import PerfStats
+
+
+class ServiceMetrics:
+    """Counters for one server instance (single-threaded: the asyncio
+    loop owns every mutation)."""
+
+    _COUNTERS = ("submitted", "accepted", "completed", "failed", "rejected",
+                 "coalesced", "cache_hits", "executions",
+                 "invalid_requests")
+
+    def __init__(self) -> None:
+        self.started = time.time()
+        self.counts: Counter = Counter()
+        #: tenant -> Counter of the same event names
+        self.per_tenant: dict[str, Counter] = {}
+        #: merged PerfStats over executed (not cached/coalesced) jobs
+        self.perf = PerfStats()
+        #: EWMA of pool execution seconds (retry-after estimation)
+        self.avg_service_seconds = 0.0
+        self._ewma_n = 0
+
+    # ------------------------------------------------------------------
+    def count(self, event: str, tenant: Optional[str] = None,
+              n: int = 1) -> None:
+        self.counts[event] += n
+        if tenant is not None:
+            self.per_tenant.setdefault(tenant, Counter())[event] += n
+
+    def observe_execution(self, seconds: float,
+                          perf: Optional[PerfStats]) -> None:
+        """Fold one pool execution's wall time and sim counters in."""
+        self.count("executions")
+        self._ewma_n += 1
+        alpha = 0.3 if self._ewma_n > 1 else 1.0
+        self.avg_service_seconds += alpha * (seconds
+                                             - self.avg_service_seconds)
+        if perf is not None:
+            self.perf = perf_mod.merge([self.perf, perf])
+
+    def retry_after(self, queue_depth: int, workers: int) -> int:
+        """Honest 429 advice: when a queue slot should open up.
+
+        The backlog drains at ``workers`` jobs per ``avg_service_seconds``
+        — until the first execution completes the estimate falls back to
+        one second per queued job.
+        """
+        per_job = self.avg_service_seconds or 1.0
+        estimate = (queue_depth + 1) * per_job / max(1, workers)
+        return max(1, min(600, int(estimate + 0.999)))
+
+    # ------------------------------------------------------------------
+    def snapshot(self, scheduler=None, cache=None, jobs=None,
+                 running: int = 0, workers: int = 0) -> dict[str, Any]:
+        """The ``/metrics`` document."""
+        out: dict[str, Any] = {
+            "uptime_seconds": time.time() - self.started,
+            "counters": {name: self.counts.get(name, 0)
+                         for name in self._COUNTERS},
+            "per_tenant": {t: dict(c) for t, c in
+                           sorted(self.per_tenant.items())},
+            "avg_service_seconds": self.avg_service_seconds,
+            "running": running,
+            "workers": workers,
+            "sim_perf": {f: getattr(self.perf, f) for f in (
+                "effects_dispatched", "macro_rounds", "messages_coalesced",
+                "wall_seconds")},
+        }
+        if scheduler is not None:
+            out["queue"] = {
+                "depth": scheduler.depth,
+                "max_depth": scheduler.max_depth,
+                "max_tenant_depth": scheduler.max_tenant_depth,
+                "tenants": scheduler.tenant_depths(),
+            }
+            out["fairness"] = scheduler.fairness()
+        if cache is not None:
+            out["run_cache"] = {"dir": str(cache.root),
+                                **cache.stats.to_dict()}
+        if jobs is not None:
+            by_state: Counter = Counter(j.state for j in jobs.list())
+            out["jobs"] = {"total": len(jobs), **dict(by_state)}
+        return out

@@ -1,0 +1,230 @@
+"""The service wire format: descriptors in, results out.
+
+A *submission* is JSON::
+
+    {"tenant": "acme",
+     "task": {"config": {...ExperimentConfig fields...},
+              "workload": "tile_io",
+              "workload_config": {...workload dataclass fields...}}}
+
+:func:`parse_task` validates a task descriptor against the existing
+config and registry machinery — unknown config fields, unregistered
+workloads, bad collective-backend or protocol specs, and malformed
+fault plans are all rejected with :class:`DescriptorError` *before* the
+job enters a queue, so a queue slot is never wasted on a task that can
+only fail.  The reconstruction is exactly the
+:class:`~repro.harness.parallel.ExperimentTask` the pool executes, so a
+service job and a direct ``run_many`` call share cache keys — the basis
+of cross-tenant dedup and request coalescing.
+
+:func:`result_to_dict` is the fetchable result: predicted bandwidths,
+the per-category :class:`TimeBreakdown` summary, engine counters, and
+:class:`~repro.perf.PerfStats` — everything ``run_report`` renders,
+JSON-shaped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping, Optional, Type
+
+from repro.errors import ConfigError, MPIError, ParCollError, ReproError
+from repro.harness.parallel import ExperimentTask, available_workloads
+from repro.harness.report import mb_per_s
+from repro.harness.runner import ExperimentConfig, RunResult
+
+
+class DescriptorError(ConfigError):
+    """A submitted descriptor failed validation (HTTP 400)."""
+
+
+#: workload name -> config dataclass, so JSON workload configs can be
+#: rebuilt into the picklable objects the registered programs expect.
+#: Extendable: third-party workloads registered with
+#: :func:`~repro.harness.parallel.register_workload` add their config
+#: type here (or accept a plain mapping by registering ``None``).
+_WORKLOAD_CONFIG_TYPES: dict[str, Optional[Type]] = {}
+_BUILTINS_REGISTERED = False
+
+
+def register_workload_config(name: str, config_type: Optional[Type]) -> None:
+    """Map a registered workload name to its config dataclass.
+
+    ``None`` means the workload takes its config as a plain mapping (or
+    no config at all).
+    """
+    _WORKLOAD_CONFIG_TYPES[name] = config_type
+
+
+def workload_config_type(name: str) -> Optional[Type]:
+    _ensure_builtins()
+    return _WORKLOAD_CONFIG_TYPES.get(name)
+
+
+def _ensure_builtins() -> None:
+    global _BUILTINS_REGISTERED
+    if _BUILTINS_REGISTERED:
+        return
+    _BUILTINS_REGISTERED = True
+    from repro.workloads import (BTIOConfig, FlashIOConfig, IORConfig,
+                                 TileIOConfig)
+
+    register_workload_config("tile_io", TileIOConfig)
+    register_workload_config("ior", IORConfig)
+    register_workload_config("btio", BTIOConfig)
+    register_workload_config("flash_io", FlashIOConfig)
+
+
+# ---------------------------------------------------------------------------
+# descriptor -> ExperimentTask
+# ---------------------------------------------------------------------------
+def _build(cls: Type, body: Mapping[str, Any], what: str):
+    if not isinstance(body, Mapping):
+        raise DescriptorError(f"{what} must be a JSON object, "
+                              f"got {type(body).__name__}")
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(body) - names)
+    if unknown:
+        raise DescriptorError(
+            f"unknown {what} field(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(names))}")
+    try:
+        return cls(**body)
+    except ReproError as exc:
+        raise DescriptorError(f"invalid {what}: {exc}") from exc
+    except (TypeError, ValueError) as exc:
+        raise DescriptorError(f"invalid {what}: {exc}") from exc
+
+
+def parse_task(obj: Mapping[str, Any]) -> ExperimentTask:
+    """Validate a task descriptor; returns the executable task.
+
+    Beyond dataclass construction, the specs a worker would only trip
+    over mid-run are resolved against their registries here: the
+    collective-fidelity backend, the collective-I/O protocol, the fault
+    plan, and the retry-policy overrides.
+    """
+    if not isinstance(obj, Mapping):
+        raise DescriptorError("task must be a JSON object")
+    unknown = sorted(set(obj) - {"config", "workload", "workload_config"})
+    if unknown:
+        raise DescriptorError(f"unknown task field(s): {', '.join(unknown)}")
+    config = _build(ExperimentConfig, obj.get("config") or {}, "config")
+    if config.nprocs < 1:
+        raise DescriptorError(f"nprocs must be >= 1, got {config.nprocs}")
+
+    from repro.simmpi.backends import resolve_backend
+
+    try:
+        resolve_backend(config.collective_mode)
+    except MPIError as exc:
+        raise DescriptorError(f"bad collective_mode: {exc}") from exc
+    if config.protocol is not None:
+        from repro.mpiio.protocols import resolve_protocol
+
+        try:
+            resolve_protocol(config.protocol)
+        except ParCollError as exc:
+            raise DescriptorError(f"bad protocol: {exc}") from exc
+    from repro.faults import FaultPlan, RetryPolicy
+
+    try:
+        FaultPlan.coerce(config.faults)
+    except ReproError as exc:
+        raise DescriptorError(f"bad fault plan: {exc}") from exc
+    if config.retry:
+        try:
+            RetryPolicy(**config.retry)
+        except (ReproError, TypeError) as exc:
+            raise DescriptorError(f"bad retry overrides: {exc}") from exc
+
+    workload = obj.get("workload")
+    if not isinstance(workload, str) or not workload:
+        raise DescriptorError("task needs a 'workload' name")
+    if workload not in available_workloads():
+        raise DescriptorError(
+            f"unknown workload {workload!r}; registered: "
+            f"{', '.join(available_workloads())}")
+    wl_body = obj.get("workload_config")
+    wl_config: Any = None
+    cls = workload_config_type(workload)
+    if wl_body is not None:
+        if cls is None:
+            wl_config = dict(wl_body) if isinstance(wl_body, Mapping) \
+                else wl_body
+        else:
+            wl_config = _build(cls, wl_body, f"{workload} workload_config")
+    elif cls is not None:
+        # builtin programs take fn(cfg, comm, io); an omitted
+        # workload_config means "the workload's defaults", not None
+        try:
+            wl_config = cls()
+        except TypeError as exc:
+            raise DescriptorError(
+                f"workload {workload!r} requires a workload_config "
+                f"({exc})") from exc
+    return ExperimentTask(config, workload, wl_config)
+
+
+def parse_submit(obj: Any) -> tuple[str, ExperimentTask]:
+    """Validate one submission body; returns ``(tenant, task)``."""
+    if not isinstance(obj, Mapping):
+        raise DescriptorError("submission must be a JSON object")
+    tenant = obj.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant.strip():
+        raise DescriptorError("tenant must be a non-empty string")
+    tenant = tenant.strip()
+    if len(tenant) > 64:
+        raise DescriptorError("tenant names are limited to 64 characters")
+    task = obj.get("task")
+    if task is None:
+        raise DescriptorError("submission needs a 'task' descriptor")
+    return tenant, parse_task(task)
+
+
+# ---------------------------------------------------------------------------
+# ExperimentTask / RunResult -> JSON
+# ---------------------------------------------------------------------------
+def task_to_dict(task: ExperimentTask) -> dict[str, Any]:
+    """The JSON descriptor of a task (client-side serialization).
+
+    Round-trips through :func:`parse_task` up to the usual JSON
+    tuple→list coercion, which the content-addressed cache key already
+    canonicalizes away — a task submitted over the wire shares its key
+    with the same task built in-process.
+    """
+    out: dict[str, Any] = {
+        "config": dataclasses.asdict(task.config),
+        "workload": task.workload,
+    }
+    if task.workload_config is not None:
+        wl = task.workload_config
+        out["workload_config"] = (dataclasses.asdict(wl)
+                                  if dataclasses.is_dataclass(wl)
+                                  else dict(wl))
+    return out
+
+
+def result_to_dict(result: RunResult) -> dict[str, Any]:
+    """The fetchable result of one completed job."""
+    perf = None
+    if result.perf is not None:
+        perf = {f.name: getattr(result.perf, f.name)
+                for f in dataclasses.fields(result.perf)}
+        perf["events_per_sec"] = result.perf.events_per_sec
+    return {
+        "nprocs": result.config.nprocs,
+        "backend": result.backend,
+        "write_bandwidth": result.write_bandwidth,
+        "read_bandwidth": result.read_bandwidth,
+        "write_mb_s": mb_per_s(result.write_bandwidth),
+        "read_mb_s": mb_per_s(result.read_bandwidth),
+        "elapsed_total": result.elapsed_total,
+        "events": result.events,
+        "messages": result.messages,
+        "bytes_written": sum(s.bytes_written for s in result.per_rank),
+        "bytes_read": sum(s.bytes_read for s in result.per_rank),
+        "breakdown": result.breakdown,
+        "perf": perf,
+        "validation": result.validation,
+    }

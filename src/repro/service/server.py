@@ -1,0 +1,581 @@
+"""The asyncio job server: queues in front of the experiment pool.
+
+One :class:`SimulationServer` owns four cooperating pieces:
+
+* a :class:`~repro.service.scheduler.FairScheduler` of bounded
+  per-tenant queues (backpressure at submit time: HTTP 429 +
+  ``Retry-After``);
+* an in-flight **coalescing map** ``cache key -> primary job``: a
+  submission whose key matches a queued or running job becomes a
+  follower of that job — one execution, every follower shares the
+  result (cross-tenant: keys are content hashes, so identical
+  descriptors from different tenants dedupe);
+* the shared :class:`~repro.harness.parallel.RunCache`: warm keys are
+  answered at submit time without touching a queue, and every execution
+  stores its result for the next tenant;
+* a worker pool (process by default) running
+  :func:`~repro.harness.parallel._execute_task` — the exact entry point
+  ``run_many`` uses, so service results are bit-identical to direct
+  execution.
+
+The wire protocol is HTTP/1.0 + JSON over asyncio streams (stdlib only,
+one connection per request, ``Connection: close``); see
+``docs/service.md``.  Routes::
+
+    GET  /healthz            liveness
+    GET  /metrics            queues, cache, coalescing, fairness, perf
+    POST /jobs               submit {tenant, task}; 202 / 400 / 429
+    GET  /jobs[?tenant=t]    job listing
+    GET  /jobs/<id>          one job's state
+    GET  /jobs/<id>/result   fetch result (409 until terminal)
+    GET  /jobs/<id>/events   NDJSON lifecycle stream (follows to done)
+    POST /shutdown           graceful drain + stop (when enabled)
+
+:class:`ServerThread` runs a server on a background thread with its own
+event loop — how the benchmarks, tests, and blocking clients host one
+in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ConfigError
+from repro.harness.parallel import RunCache, _execute_task
+from repro.service.jobs import Job, JobState, JobStore
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (DescriptorError, parse_submit,
+                                    result_to_dict)
+from repro.service.scheduler import FairScheduler, QueueFullError
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+            429: "Too Many Requests", 500: "Internal Server Error"}
+
+#: request line + headers + body must arrive within this
+_READ_TIMEOUT = 30.0
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one server instance."""
+
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (read it back from ``.port``)
+    port: int = 8642
+    #: concurrent pool executions (queue slots drain this fast)
+    workers: int = 2
+    #: global queue bound (scheduler-level backpressure)
+    max_queue: int = 64
+    #: per-tenant queue bound (default: same as ``max_queue``)
+    max_tenant_queue: Optional[int] = None
+    #: the shared run cache: True (default directory), False (off), or a
+    #: ready :class:`RunCache`
+    cache: Any = True
+    cache_dir: Optional[str] = None
+    #: force the correctness oracle on every submitted config
+    validate: bool = False
+    #: 'process' (real parallelism) or 'thread' (cheap for tests)
+    pool: str = "process"
+    #: honor POST /shutdown (tests, benchmarks, supervised deployments)
+    allow_shutdown: bool = True
+    #: graceful-shutdown wait for running jobs (seconds)
+    drain_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.pool not in ("process", "thread"):
+            raise ConfigError(
+                f"pool must be 'process' or 'thread', got {self.pool!r}")
+
+    def make_cache(self) -> Optional[RunCache]:
+        if isinstance(self.cache, RunCache):
+            return self.cache
+        if self.cache:
+            return RunCache(self.cache_dir)
+        return None
+
+
+class SimulationServer:
+    """One service instance; all state lives on its event loop."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.cache = self.config.make_cache()
+        self.scheduler = FairScheduler(
+            max_depth=self.config.max_queue,
+            max_tenant_depth=self.config.max_tenant_queue)
+        self.jobs = JobStore()
+        self.metrics = ServiceMetrics()
+        #: cache key -> primary job currently queued or running
+        self._inflight: dict[str, Job] = {}
+        self._running: set[Job] = set()
+        self._pool = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._work: Optional[asyncio.Event] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._job_cond: Optional[asyncio.Condition] = None
+        self._closed: Optional[asyncio.Event] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._job_tasks: set[asyncio.Task] = set()
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "SimulationServer":
+        self._work = asyncio.Event()
+        self._slots = asyncio.Semaphore(self.config.workers)
+        self._job_cond = asyncio.Condition()
+        self._closed = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port)
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch_loop())
+        return self
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    async def wait_closed(self) -> None:
+        assert self._closed is not None, "server not started"
+        await self._closed.wait()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting, optionally drain running jobs, release all."""
+        if self._closing:
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+        self._work.set()  # unblock the dispatcher so it can exit
+        if drain:
+            deadline = time.monotonic() + self.config.drain_timeout
+            while (self._running or self._job_tasks) \
+                    and time.monotonic() < deadline:
+                await asyncio.sleep(0.02)
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+        for task in list(self._job_tasks):
+            task.cancel()
+        if self._pool is not None:
+            self._pool.shutdown(wait=drain, cancel_futures=True)
+            self._pool = None
+        async with self._job_cond:
+            self._job_cond.notify_all()  # release event streamers
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._closed.set()
+
+    def _pool_executor(self):
+        if self._pool is None:
+            import concurrent.futures as cf
+
+            if self.config.pool == "process":
+                self._pool = cf.ProcessPoolExecutor(
+                    max_workers=self.config.workers)
+            else:
+                self._pool = cf.ThreadPoolExecutor(
+                    max_workers=self.config.workers,
+                    thread_name_prefix="repro-service")
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # dispatch: queues -> pool
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._work.wait()
+            if self._closing:
+                return
+            # a worker slot is acquired BEFORE popping: a popped-but-not-
+            # running job would occupy neither the queue (so the depth
+            # bounds undercount) nor a worker — backpressure stays exact
+            # only if every accepted job is always in one or the other
+            await self._slots.acquire()
+            if self._closing:
+                self._slots.release()
+                return
+            job = self.scheduler.pop()
+            if job is None:
+                self._slots.release()
+                self._work.clear()
+                continue
+            self._running.add(job)
+            task = loop.create_task(self._run_job(job))
+            self._job_tasks.add(task)
+            task.add_done_callback(self._job_tasks.discard)
+
+    async def _run_job(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            job.set_state(JobState.RUNNING,
+                          pool=self.config.pool,
+                          queue_seconds=time.time() - job.created)
+            await self._notify()
+            t0 = time.perf_counter()
+            ok, value = await loop.run_in_executor(
+                self._pool_executor(), _execute_task, job.task)
+            seconds = time.perf_counter() - t0
+            if ok:
+                self.metrics.observe_execution(seconds, value.perf)
+                if self.cache is not None:
+                    await loop.run_in_executor(None, self.cache.put,
+                                               job.key, value)
+                job.add_event("progress", detail="result stored",
+                              wall_seconds=seconds)
+                self._finish(job, value)
+            else:
+                exc, tb = value
+                self._fail(job, {"type": type(exc).__name__,
+                                 "message": str(exc), "traceback": tb})
+        except asyncio.CancelledError:
+            self._fail(job, {"type": "Cancelled",
+                             "message": "server shut down mid-run",
+                             "traceback": ""})
+            raise
+        except Exception as exc:  # pool breakage, cache I/O surprises
+            self._fail(job, {"type": type(exc).__name__,
+                             "message": str(exc), "traceback": ""})
+        finally:
+            self._inflight.pop(job.key, None)
+            self._running.discard(job)
+            self._slots.release()
+            self._work.set()
+            await self._notify()
+
+    def _finish(self, job: Job, result) -> None:
+        job.finish(result)
+        self.metrics.count("completed", job.tenant)
+        for follower in job.followers:
+            follower.result = result
+            follower.finish(result, via=job.id)
+            self.metrics.count("completed", follower.tenant)
+
+    def _fail(self, job: Job, error: dict) -> None:
+        if job.terminal:
+            return
+        job.fail(error)
+        self.metrics.count("failed", job.tenant)
+        for follower in job.followers:
+            follower.fail(dict(error), via=job.id)
+            self.metrics.count("failed", follower.tenant)
+
+    async def _notify(self) -> None:
+        async with self._job_cond:
+            self._job_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    async def _submit(self, payload: Any) -> tuple[int, dict, dict]:
+        tenant, task = parse_submit(payload)
+        self.metrics.count("submitted", tenant)
+        if self.config.validate and not task.config.validate:
+            task = replace(task, config=replace(task.config, validate=True))
+        key = task.cache_key()
+
+        primary = self._inflight.get(key)
+        if primary is not None and not primary.terminal:
+            job = self.jobs.create(tenant, task, key)
+            job.source = "coalesced"
+            job.coalesced_with = primary.id
+            job.state = primary.state
+            primary.followers.append(job)
+            job.add_event("coalesced", with_job=primary.id,
+                          primary_tenant=primary.tenant)
+            self.metrics.count("accepted", tenant)
+            self.metrics.count("coalesced", tenant)
+            return 202, {"job": job.to_dict()}, {}
+
+        # The cache probe is deliberately synchronous: the cold path
+        # (in-flight check -> probe -> enqueue -> in-flight registration)
+        # must hold the event loop so two concurrent submissions of one
+        # key cannot both miss and double-execute.  Entries are small
+        # pickles; the read is far cheaper than one queued execution.
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                job = self.jobs.create(tenant, task, key)
+                job.source = "cache"
+                job.result = cached
+                job.set_state(JobState.DONE, cache="hit")
+                self.metrics.count("accepted", tenant)
+                self.metrics.count("cache_hits", tenant)
+                self.metrics.count("completed", tenant)
+                await self._notify()
+                return 202, {"job": job.to_dict()}, {}
+
+        job = self.jobs.create(tenant, task, key)
+        try:
+            self.scheduler.push(job)
+        except QueueFullError as exc:
+            self.metrics.count("rejected", tenant)
+            retry_after = self.metrics.retry_after(exc.depth,
+                                                   self.config.workers)
+            return 429, {"error": str(exc), "scope": exc.scope,
+                         "retry_after": retry_after}, \
+                {"Retry-After": str(retry_after)}
+        job.add_event("queued", depth=self.scheduler.depth)
+        self._inflight[key] = job
+        self.metrics.count("accepted", tenant)
+        self._work.set()
+        return 202, {"job": job.to_dict()}, {}
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, target, headers = await asyncio.wait_for(
+                    self._read_head(reader), _READ_TIMEOUT)
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                    ValueError):
+                return
+            body = b""
+            length = int(headers.get("content-length", 0) or 0)
+            if length:
+                body = await asyncio.wait_for(reader.readexactly(length),
+                                              _READ_TIMEOUT)
+            await self._route(method, target, body, writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_head(reader) -> tuple[str, str, dict]:
+        line = (await reader.readline()).decode("latin-1").strip()
+        if not line:
+            raise ValueError("empty request")
+        parts = line.split()
+        if len(parts) < 2:
+            raise ValueError(f"bad request line {line!r}")
+        method, target = parts[0].upper(), parts[1]
+        headers = {}
+        while True:
+            raw = (await reader.readline()).decode("latin-1")
+            if raw in ("\r\n", "\n", ""):
+                break
+            name, _, value = raw.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method, target, headers
+
+    @staticmethod
+    def _respond(writer, status: int, obj: Any,
+                 headers: Optional[dict] = None) -> None:
+        body = (json.dumps(obj) + "\n").encode()
+        head = [f"HTTP/1.0 {status} {_REASONS.get(status, 'Unknown')}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(body)}",
+                "Connection: close"]
+        for name, value in (headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+
+    async def _route(self, method: str, target: str, body: bytes,
+                     writer) -> None:
+        url = urlsplit(target)
+        path = url.path.rstrip("/") or "/"
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+
+        if path == "/healthz" and method == "GET":
+            self._respond(writer, 200, {"ok": True})
+            return
+        if path == "/metrics" and method == "GET":
+            self._respond(writer, 200, self.metrics.snapshot(
+                scheduler=self.scheduler, cache=self.cache, jobs=self.jobs,
+                running=len(self._running), workers=self.config.workers))
+            return
+        if path == "/jobs" and method == "POST":
+            try:
+                payload = json.loads(body.decode() or "null")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                self.metrics.count("invalid_requests")
+                self._respond(writer, 400, {"error": f"bad JSON: {exc}"})
+                return
+            try:
+                status, obj, extra = await self._submit(payload)
+            except DescriptorError as exc:
+                self.metrics.count("invalid_requests")
+                self._respond(writer, 400, {"error": str(exc)})
+                return
+            self._respond(writer, status, obj, extra)
+            return
+        if path == "/jobs" and method == "GET":
+            jobs = self.jobs.list(query.get("tenant"))
+            self._respond(writer, 200,
+                          {"jobs": [j.to_dict() for j in jobs]})
+            return
+        if path == "/shutdown" and method == "POST":
+            if not self.config.allow_shutdown:
+                self._respond(writer, 405,
+                              {"error": "shutdown is disabled"})
+                return
+            self._respond(writer, 200, {"ok": True, "draining": True})
+            await writer.drain()
+            asyncio.get_running_loop().create_task(self.shutdown())
+            return
+
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):].split("/")
+            job = self.jobs.get(rest[0])
+            if job is None:
+                self._respond(writer, 404,
+                              {"error": f"unknown job {rest[0]!r}"})
+                return
+            if len(rest) == 1 and method == "GET":
+                self._respond(writer, 200, {"job": job.to_dict()})
+                return
+            if rest[1:] == ["result"] and method == "GET":
+                if not job.terminal:
+                    self._respond(writer, 409,
+                                  {"state": job.state,
+                                   "error": "job has not finished"})
+                elif job.state == JobState.FAILED:
+                    self._respond(writer, 200,
+                                  {"job": job.to_dict(),
+                                   "state": job.state,
+                                   "error": job.error})
+                else:
+                    self._respond(writer, 200,
+                                  {"job": job.to_dict(),
+                                   "state": job.state,
+                                   "result": result_to_dict(job.result)})
+                return
+            if rest[1:] == ["events"] and method == "GET":
+                follow = query.get("follow", "1") not in ("0", "false")
+                await self._stream_events(job, follow, writer)
+                return
+        self._respond(writer, 404, {"error": f"no route {method} {path}"})
+
+    async def _stream_events(self, job: Job, follow: bool,
+                             writer) -> None:
+        writer.write(b"HTTP/1.0 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Connection: close\r\n\r\n")
+        cursor = 0
+        while True:
+            new = job.events[cursor:]
+            cursor += len(new)
+            for event in new:
+                writer.write((json.dumps(event) + "\n").encode())
+            await writer.drain()
+            if (job.terminal and cursor >= len(job.events)) \
+                    or not follow or self._closing:
+                return
+            async with self._job_cond:
+                if cursor >= len(job.events) and not job.terminal \
+                        and not self._closing:
+                    try:
+                        await asyncio.wait_for(self._job_cond.wait(),
+                                               timeout=1.0)
+                    except asyncio.TimeoutError:
+                        pass
+
+
+async def serve(config: Optional[ServiceConfig] = None,
+                ready=None) -> None:
+    """Run a server until shutdown (the ``repro serve`` entry point)."""
+    server = SimulationServer(config)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    await server.wait_closed()
+
+
+class ServerThread:
+    """A server on a daemon thread with its own event loop.
+
+    For tests, benchmarks, and anything that wants a live endpoint next
+    to blocking client code::
+
+        with ServerThread(workers=2, pool="thread", cache=cache) as srv:
+            client = ServiceClient(srv.url)
+            ...
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 **overrides: Any):
+        if config is None:
+            overrides.setdefault("port", 0)
+            config = ServiceConfig(**overrides)
+        elif overrides:
+            raise ConfigError("pass a config or overrides, not both")
+        self.config = config
+        self.server: Optional[SimulationServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-service")
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.server is None:
+            raise ConfigError("service thread failed to start in time")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # surfaced by start()
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+
+    async def _amain(self) -> None:
+        server = SimulationServer(self.config)
+        await server.start()
+        self.server = server
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await server.wait_closed()
+
+    @property
+    def url(self) -> str:
+        assert self.server is not None, "thread not started"
+        return self.server.url
+
+    def stop(self, drain: bool = True) -> None:
+        if self._loop is None or self.server is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(drain=drain), self._loop)
+        try:
+            future.result(timeout=self.config.drain_timeout + 10)
+        except Exception:
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -96,6 +96,28 @@ def sequential_golden(size: int,
     return out
 
 
+def _segments_overlap(a: Segments, b: Segments) -> bool:
+    """Whether two segment lists touch any common byte.
+
+    Both sides are coalesced (sorted, disjoint), so a merge walk over
+    interval boundaries decides in one pass.
+    """
+    a_offs, a_lens = a
+    b_offs, b_lens = b
+    if len(a_offs) == 0 or len(b_offs) == 0:
+        return False
+    a_offs = np.asarray(a_offs, dtype=np.int64)
+    a_ends = a_offs + np.asarray(a_lens, dtype=np.int64)
+    b_offs = np.asarray(b_offs, dtype=np.int64)
+    b_ends = b_offs + np.asarray(b_lens, dtype=np.int64)
+    # for each a-interval, the first b-interval that ends after a starts
+    idx = np.searchsorted(b_ends, a_offs, side="right")
+    valid = idx < b_offs.size
+    if not valid.any():
+        return False
+    return bool((b_offs[idx[valid]] < a_ends[valid]).any())
+
+
 class ShadowFile:
     """The golden state of one simulated file, grown write by write.
 
@@ -103,6 +125,13 @@ class ShadowFile:
     a dense array; without, it accumulates written extents.  Both sides
     start as all-zeros / nothing-written, matching a fresh
     :class:`~repro.lustre.store.ByteStore` / ``ExtentTracker``.
+
+    The shadow also tracks *happens-before*: every recorded write stays
+    **pending** until the caller marks it complete (its data provably
+    landed in the simulated file system).  A read is oracle-checkable
+    only over bytes whose every overlapping write has completed — a read
+    racing an in-flight write may legitimately observe either state, so
+    the oracle must not judge it (:meth:`checkable_read`).
     """
 
     def __init__(self, name: str, verified: bool):
@@ -121,6 +150,14 @@ class ShadowFile:
         #: recorded segments (data sieving's read-modify-write windows);
         #: the model-mode extent oracle is then advisory only
         self.exact_coverage = True
+        #: recorded-but-not-landed writes: token -> coalesced segments
+        self._pending: dict[int, Segments] = {}
+        self._next_token = 0
+        #: byte ranges two unordered writes both touched: the shadow
+        #: applies them in record order but the file may land them in
+        #: either order, so reads there are never checkable
+        self._unordered_offs: list[int] = []
+        self._unordered_lens: list[int] = []
 
     # -- recording ------------------------------------------------------
     def _ensure(self, end: int) -> None:
@@ -132,13 +169,33 @@ class ShadowFile:
             buf[: self._buf.size] = self._buf
             self._buf = buf
 
-    def record(self, segs: Segments, data: Optional[np.ndarray]) -> None:
-        """Apply one rank's write (its view segments + dense bytes)."""
+    def record(self, segs: Segments, data: Optional[np.ndarray]) -> int:
+        """Apply one rank's write (its view segments + dense bytes).
+
+        Returns a happens-before token: the write counts as *pending*
+        (in flight) until :meth:`complete` is called with the token, or
+        :meth:`complete_all` marks a quiescent point.
+        """
         offs, lens = segs
         offs = np.asarray(offs, dtype=np.int64).ravel()
         lens = np.asarray(lens, dtype=np.int64).ravel()
         total = int(lens.sum())
         self.writes += 1
+        mine = coalesce(offs, lens)
+        for other in self._pending.values():
+            if _segments_overlap(mine, other):
+                # racing writers: the landing order is undefined, so
+                # permanently blind the read oracle on both extents
+                for o, l in zip(*mine):
+                    self._unordered_offs.append(int(o))
+                    self._unordered_lens.append(int(l))
+                for o, l in zip(*other):
+                    self._unordered_offs.append(int(o))
+                    self._unordered_lens.append(int(l))
+                break
+        self._next_token += 1
+        token = self._next_token
+        self._pending[token] = mine
         if self.verified:
             if data is None:
                 raise ValidationError(
@@ -162,6 +219,43 @@ class ShadowFile:
         self.total_recorded += total
         if total:
             self.size = max(self.size, int(offs[-1] + lens[-1]))
+        return token
+
+    # -- happens-before tracking ----------------------------------------
+    @property
+    def pending_writes(self) -> int:
+        """Recorded writes whose data has not provably landed yet."""
+        return len(self._pending)
+
+    def complete(self, token: Optional[int]) -> None:
+        """Mark one recorded write landed (its call returned and the
+        simulated fs applied its bytes)."""
+        if token is not None:
+            self._pending.pop(token, None)
+
+    def complete_all(self) -> None:
+        """Quiescent point: every recorded write has landed (e.g. all
+        ranks passed a close barrier, or coverage equality proved no
+        write is still in flight)."""
+        self._pending.clear()
+
+    def checkable_read(self, segs: Segments) -> bool:
+        """Whether a read of ``segs`` provably happens after every
+        overlapping write: no overlapping write is pending and no byte
+        was ever touched by unordered (racing) writers."""
+        offs, lens = segs
+        read = coalesce(np.asarray(offs, dtype=np.int64).ravel(),
+                        np.asarray(lens, dtype=np.int64).ravel())
+        for pending in self._pending.values():
+            if _segments_overlap(read, pending):
+                return False
+        if self._unordered_offs:
+            unordered = coalesce(
+                np.asarray(self._unordered_offs, dtype=np.int64),
+                np.asarray(self._unordered_lens, dtype=np.int64))
+            if _segments_overlap(read, unordered):
+                return False
+        return True
 
     # -- oracle views ---------------------------------------------------
     @property

@@ -96,14 +96,32 @@ class Validator:
         return sh
 
     def record_write(self, lfile, segs: Segments,
-                     data: Optional[np.ndarray]) -> None:
-        """Register one rank's contribution before the protocol runs."""
-        self._write_started[lfile.name] += 1
-        self.shadow(lfile.name, lfile.store is not None).record(segs, data)
+                     data: Optional[np.ndarray]) -> int:
+        """Register one rank's contribution before the protocol runs.
 
-    def after_write(self, lfile) -> None:
-        """Mark one recorded write (collective or independent) landed."""
+        Returns the shadow's happens-before token for this write; the
+        completion hooks take it back so the read oracle knows which
+        writes have provably landed.
+        """
+        self._write_started[lfile.name] += 1
+        return self.shadow(lfile.name,
+                           lfile.store is not None).record(segs, data)
+
+    def after_write(self, lfile, token: Optional[int] = None) -> None:
+        """Mark one recorded write (collective or independent) landed.
+
+        Only independent writes pass a ``token``: their data is applied
+        by the calling rank itself, so call return implies the bytes are
+        in the store.  A collective write's call may return before its
+        data lands (eager sends), so its token is only retired at
+        quiescent points (:meth:`after_collective_write` coverage
+        equality, or the close barrier).
+        """
         self._write_done[lfile.name] += 1
+        if token is not None:
+            sh = self._shadows.get(lfile.name)
+            if sh is not None:
+                sh.complete(token)
 
     def after_collective_write(self, lfile, comm_size: int) -> None:
         """Diff shadow vs simulated file at quiescent epoch boundaries.
@@ -135,10 +153,16 @@ class Validator:
         self.check_file(lfile)
 
     def check_file(self, lfile) -> None:
-        """Byte- (verified) or extent-level (model) oracle comparison."""
+        """Byte- (verified) or extent-level (model) oracle comparison.
+
+        Runs only at quiescent points (coverage equality mid-run, or
+        after the close barrier), so every recorded write has landed —
+        the happens-before tracker retires all pending tokens here.
+        """
         sh = self._shadows.get(lfile.name)
         if sh is None:
             return
+        sh.complete_all()
         if lfile.store is not None:
             diff = sh.diff_bytes(lfile.store.snapshot())
             self.report.checks["file_oracle_bytes"] += 1
@@ -154,6 +178,25 @@ class Validator:
         if diff is not None:
             self.report.violations.append(diff)
             diff.raise_()
+
+    def check_independent_read(self, lfile, segs: Segments,
+                               got: Optional[np.ndarray]) -> None:
+        """Read-back oracle for independent ``read_at``.
+
+        Independent reads carry no collective synchronization, so the
+        oracle only judges reads that provably happen after every
+        overlapping write (the shadow's happens-before tracker: no
+        overlapping write pending, no unordered racing writers).  A read
+        racing a write may legitimately observe either state and is
+        counted as skipped instead.
+        """
+        if lfile.store is None or got is None:
+            return
+        sh = self.shadow(lfile.name, True)
+        if not sh.checkable_read(segs):
+            self.report.checks["read_oracle_skipped"] += 1
+            return
+        self.check_read(lfile, segs, got)
 
     def check_read(self, lfile, segs: Segments,
                    got: Optional[np.ndarray]) -> None:

@@ -169,6 +169,83 @@ class TestRunCache:
         ex = ExperimentExecutor(jobs=1, cache=cache)
         assert ex.run(task).write_bandwidth > 0
 
+    def test_stats_counters(self, tmp_path):
+        cache = RunCache(tmp_path)
+        task = tile_task()
+        key = task.cache_key()
+        cache.get(key)                   # miss
+        cache.put(key, task.run())       # store
+        cache.get(key)                   # hit
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[:17])
+        cache.get(key)                   # corrupt fallback (also a miss)
+        assert cache.stats.to_dict() == {"hits": 1, "misses": 2,
+                                         "stores": 1, "corrupt": 1}
+        assert cache.stats.describe() == ("1 hits, 2 misses, "
+                                          "1 stores, 1 corrupt drops")
+
+    def test_run_report_renders_cache_stats(self, tmp_path):
+        from repro.harness.report import run_report
+
+        cache = RunCache(tmp_path)
+        task = tile_task()
+        ex = ExperimentExecutor(jobs=1, cache=cache)
+        result = ex.run(task)
+        report = run_report(result, cache=cache)
+        assert "run cache: 0 hits, 1 misses, 1 stores" in report
+        assert "run cache" not in run_report(result)
+
+
+def _hammer_cache(root, key, blob, rounds, barrier, failures):
+    """Child-process body: racing put/get cycles on one cache key."""
+    import pickle as _pickle
+
+    from repro.harness.parallel import RunCache as _RunCache
+
+    cache = _RunCache(root)
+    result = _pickle.loads(blob)
+    barrier.wait()  # maximize overlap between the writers
+    for _ in range(rounds):
+        cache.put(key, result)
+        got = cache.get(key)
+        if got is None or got.write_bandwidth != result.write_bandwidth:
+            with failures.get_lock():
+                failures.value += 1
+
+
+class TestConcurrentCacheWriters:
+    def test_racing_writers_converge_on_one_valid_blob(self, tmp_path):
+        """Two processes storing the same key concurrently must never
+        corrupt the entry: every interleaved read sees a complete
+        result, and exactly one on-disk blob (plus no orphaned temp
+        files) remains."""
+        import multiprocessing as mp
+
+        task = tile_task()
+        key = task.cache_key()
+        blob = pickle.dumps(task.run())
+        ctx = mp.get_context("fork")
+        n_procs, rounds = 2, 25
+        barrier = ctx.Barrier(n_procs)
+        failures = ctx.Value("i", 0)
+        procs = [ctx.Process(target=_hammer_cache,
+                             args=(str(tmp_path), key, blob, rounds,
+                                   barrier, failures))
+                 for _ in range(n_procs)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        assert failures.value == 0
+        cache = RunCache(tmp_path)
+        final = cache.get(key)
+        assert final is not None
+        assert final.write_bandwidth == pickle.loads(blob).write_bandwidth
+        entries = list(tmp_path.glob("*/*.pkl"))
+        assert len(entries) == 1  # both writers converged on one blob
+        assert list(tmp_path.rglob("*.tmp")) == []  # no leaked temp files
+
 
 def _metrics(result):
     return (result.write_bandwidth, result.read_bandwidth,

@@ -1,0 +1,522 @@
+"""The simulation service: protocol, fair scheduler, server end-to-end.
+
+The end-to-end tests host a real :class:`SimulationServer` on a
+background thread (``pool='thread'`` so executions share the test
+process) and talk to it over real sockets with :class:`ServiceClient`.
+Determinism knobs:
+
+* a **gated workload** whose rank 0 blocks on a real
+  ``threading.Event`` — the test decides exactly when the single worker
+  slot frees up, making coalescing, backpressure, and fair-share
+  ordering reproducible instead of timing-dependent;
+* ``workers=1`` wherever ordering matters.
+"""
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.harness.parallel import (ExperimentExecutor, ExperimentTask,
+                                    RunCache, register_workload)
+from repro.harness.runner import ExperimentConfig
+from repro.service import (BackpressureError, DescriptorError, FairScheduler,
+                           QueueFullError, ServerThread, ServiceClient,
+                           ServiceError, parse_submit, parse_task,
+                           result_to_dict, task_to_dict)
+from repro.workloads import TileIOConfig, tile_io_program
+
+LUSTRE = {"n_osts": 4, "default_stripe_count": 4, "default_stripe_size": 1024}
+
+#: gate name -> Event the gated workload's rank 0 blocks on
+GATES: dict[str, threading.Event] = {}
+
+
+def gated_tile_program(cfg, comm, io):
+    """A tile-IO run whose rank 0 first blocks on a real event.
+
+    ``cfg`` is a plain dict: ``{"gate": <name>, "rows": <tile_rows>}``.
+    Distinct gate names give distinct cache keys, so each gated job is
+    its own experiment point.
+    """
+    if comm.rank == 0:
+        gate = GATES.get(cfg["gate"])
+        if gate is not None:
+            gate.wait(timeout=60)
+    stats = yield from tile_io_program(
+        TileIOConfig(tile_rows=cfg.get("rows", 4), tile_cols=4,
+                     element_size=8), comm, io)
+    return stats
+
+
+register_workload("gated_tile", gated_tile_program)
+
+
+def tile_task(nprocs=4, rows=8, **config):
+    wl = TileIOConfig(tile_rows=rows, tile_cols=8, element_size=8)
+    return ExperimentTask(
+        ExperimentConfig(nprocs=nprocs, lustre=LUSTRE, **config),
+        "tile_io", wl)
+
+
+def gated_task(gate, rows=4, nprocs=2):
+    GATES.setdefault(gate, threading.Event())
+    return ExperimentTask(ExperimentConfig(nprocs=nprocs, lustre=LUSTRE),
+                          "gated_tile", {"gate": gate, "rows": rows})
+
+
+def open_gate(gate):
+    GATES[gate].set()
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return RunCache(tmp_path / "runcache")
+
+
+def serve(cache, **overrides):
+    overrides.setdefault("workers", 2)
+    overrides.setdefault("pool", "thread")
+    return ServerThread(cache=cache, **overrides)
+
+
+def wait_for(predicate, timeout=30.0, what="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+# ---------------------------------------------------------------------------
+# protocol: descriptor validation + result serialization
+# ---------------------------------------------------------------------------
+class TestProtocol:
+    def test_task_round_trips_with_same_cache_key(self):
+        task = tile_task(protocol="parcoll", seed=7)
+        clone = parse_task(task_to_dict(task))
+        assert clone.cache_key() == task.cache_key()
+
+    def test_unknown_config_field_rejected(self):
+        with pytest.raises(DescriptorError, match="unknown config field"):
+            parse_task({"config": {"nprocs": 4, "warp_drive": 9},
+                        "workload": "tile_io"})
+
+    def test_unknown_task_field_rejected(self):
+        with pytest.raises(DescriptorError, match="unknown task field"):
+            parse_task({"config": {"nprocs": 4}, "workload": "tile_io",
+                        "extra": 1})
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(DescriptorError, match="unknown workload"):
+            parse_task({"config": {"nprocs": 4}, "workload": "nope"})
+
+    def test_bad_collective_mode_rejected(self):
+        with pytest.raises(DescriptorError, match="collective_mode"):
+            parse_task({"config": {"nprocs": 4, "collective_mode": "warp"},
+                        "workload": "tile_io"})
+
+    def test_bad_protocol_rejected(self):
+        with pytest.raises(DescriptorError, match="protocol"):
+            parse_task({"config": {"nprocs": 4, "protocol": "telepathy"},
+                        "workload": "tile_io"})
+
+    def test_bad_workload_config_field_rejected(self):
+        with pytest.raises(DescriptorError, match="workload_config"):
+            parse_task({"config": {"nprocs": 4}, "workload": "tile_io",
+                        "workload_config": {"tile_rows": 4, "bogus": 1}})
+
+    def test_bad_nprocs_rejected(self):
+        with pytest.raises(DescriptorError, match="nprocs"):
+            parse_task({"config": {"nprocs": 0}, "workload": "tile_io"})
+
+    def test_submit_tenant_validation(self):
+        body = {"task": task_to_dict(tile_task())}
+        tenant, _ = parse_submit(body)
+        assert tenant == "default"
+        tenant, _ = parse_submit({**body, "tenant": "  acme  "})
+        assert tenant == "acme"
+        with pytest.raises(DescriptorError, match="tenant"):
+            parse_submit({**body, "tenant": "   "})
+        with pytest.raises(DescriptorError, match="64"):
+            parse_submit({**body, "tenant": "x" * 65})
+        with pytest.raises(DescriptorError, match="task"):
+            parse_submit({"tenant": "acme"})
+
+    def test_omitted_workload_config_uses_the_workload_defaults(self):
+        # `repro submit tile_io --nprocs 4` sends no workload_config;
+        # builtin programs require their config dataclass, so the
+        # parser must default-construct it rather than ship None
+        task = parse_task({"config": {"nprocs": 4}, "workload": "tile_io"})
+        assert task.workload_config == TileIOConfig()
+        result = ExperimentExecutor(jobs=1, cache=False).run(task)
+        assert result.write_bandwidth > 0
+
+    def test_result_to_dict_is_json_serializable(self):
+        result = ExperimentExecutor(jobs=1, cache=False).run(tile_task())
+        doc = result_to_dict(result)
+        clone = json.loads(json.dumps(doc))
+        assert clone["write_bandwidth"] == doc["write_bandwidth"]
+        assert clone["breakdown"] == doc["breakdown"]
+
+
+# ---------------------------------------------------------------------------
+# fair scheduler (pure data structure)
+# ---------------------------------------------------------------------------
+class _FakeJob:
+    def __init__(self, tenant, n):
+        self.tenant = tenant
+        self.name = f"{tenant}{n}"
+
+
+def _push_n(sched, tenant, n, start=0):
+    jobs = [_FakeJob(tenant, start + i) for i in range(n)]
+    for j in jobs:
+        sched.push(j)
+    return jobs
+
+
+class TestFairScheduler:
+    def test_fifo_within_tenant(self):
+        sched = FairScheduler()
+        jobs = _push_n(sched, "a", 3)
+        assert [sched.pop() for _ in range(3)] == jobs
+
+    def test_single_job_tenant_served_promptly(self):
+        # a tenant flooding 10 jobs cannot starve a tenant with one
+        sched = FairScheduler()
+        _push_n(sched, "flood", 10)
+        _push_n(sched, "meek", 1)
+        first_two = {sched.pop().tenant for _ in range(2)}
+        assert "meek" in first_two
+
+    def test_round_robin_over_equal_backlogs(self):
+        sched = FairScheduler()
+        for t in ("a", "b", "c"):
+            _push_n(sched, t, 2)
+        order = [sched.pop().tenant for _ in range(6)]
+        assert order[:3] == ["a", "b", "c"]
+        assert sorted(order[3:]) == ["a", "b", "c"]
+
+    def test_interleaving_under_unequal_backlog(self):
+        sched = FairScheduler()
+        _push_n(sched, "big", 6)
+        _push_n(sched, "small", 2)
+        order = [sched.pop().tenant for _ in range(8)]
+        # both small jobs land in the first four picks
+        assert order[:4].count("small") == 2
+        assert sched.pop() is None
+
+    def test_global_bound(self):
+        sched = FairScheduler(max_depth=3)
+        _push_n(sched, "a", 3)
+        with pytest.raises(QueueFullError) as exc:
+            sched.push(_FakeJob("b", 0))
+        assert exc.value.scope == "global"
+        assert sched.rejected == 1
+        assert sched.depth == 3  # nothing was enqueued by the failed push
+
+    def test_tenant_bound_leaves_other_tenants_room(self):
+        sched = FairScheduler(max_depth=10, max_tenant_depth=2)
+        _push_n(sched, "greedy", 2)
+        with pytest.raises(QueueFullError) as exc:
+            sched.push(_FakeJob("greedy", 9))
+        assert exc.value.scope == "greedy"
+        _push_n(sched, "polite", 2)  # unaffected
+
+    def test_fairness_stats(self):
+        sched = FairScheduler()
+        _push_n(sched, "a", 2)
+        _push_n(sched, "b", 2)
+        for _ in range(4):
+            sched.pop()
+        stats = sched.fairness()
+        assert stats["served"] == {"a": 2, "b": 2}
+        assert stats["jain_index"] == pytest.approx(1.0)
+        assert stats["pushed"] == 4 and stats["popped"] == 4
+
+
+# ---------------------------------------------------------------------------
+# server end to end
+# ---------------------------------------------------------------------------
+class TestServiceEndToEnd:
+    def test_concurrent_tenants_bit_identical_to_direct_execution(self, cache):
+        """The acceptance gate: N concurrent clients, 2 tenants,
+        overlapping descriptors -> bit-identical to run_many, one
+        execution per distinct descriptor."""
+        distinct = [tile_task(nprocs=4, rows=r) for r in (4, 8, 16)]
+        # 2 tenants x 3 descriptors = 6 overlapping submissions
+        submissions = [(tenant, task) for tenant in ("acme", "zeta")
+                       for task in distinct]
+        with serve(cache, workers=2) as srv:
+            client = ServiceClient(srv.url)
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                jobs = list(pool.map(
+                    lambda s: client.submit(s[1], tenant=s[0]), submissions))
+            outs = [client.wait(j["id"], timeout=60) for j in jobs]
+            metrics = client.metrics()
+
+        assert [o["state"] for o in outs] == ["done"] * 6
+        # exactly one execution per distinct descriptor; the other three
+        # submissions were answered by coalescing or the warm cache
+        assert metrics["counters"]["executions"] == 3
+        assert (metrics["counters"]["coalesced"]
+                + metrics["counters"]["cache_hits"]) == 3
+        assert metrics["counters"]["completed"] == 6
+        assert metrics["per_tenant"]["acme"]["completed"] == 3
+        assert metrics["per_tenant"]["zeta"]["completed"] == 3
+
+        direct = ExperimentExecutor(jobs=1, cache=False).run_many(distinct)
+        expected = {t.cache_key(): json.loads(json.dumps(result_to_dict(r)))
+                    for t, r in zip(distinct, direct)}
+        for (tenant, task), out in zip(submissions, outs):
+            got = out["result"]
+            want = expected[task.cache_key()]
+            # perf counters include host wall-clock; everything else is
+            # simulated state and must round-trip bit-identical
+            for field in (set(want) - {"perf"}):
+                assert got[field] == want[field], field
+
+    def test_coalescing_is_deterministic(self, cache):
+        blocker = gated_task("coalesce-blocker")
+        dup = tile_task(nprocs=4, rows=6)
+        try:
+            with serve(cache, workers=1) as srv:
+                client = ServiceClient(srv.url)
+                held = client.submit(blocker, tenant="ops")
+                wait_for(lambda: client.job(held["id"])["state"] == "running",
+                         what="gate job to start")
+                first = client.submit(dup, tenant="acme")
+                second = client.submit(dup, tenant="zeta")
+                assert first["source"] == "executed"
+                assert second["source"] == "coalesced"
+                assert second["coalesced_with"] == first["id"]
+                open_gate("coalesce-blocker")
+                out1 = client.wait(first["id"], timeout=60)
+                out2 = client.wait(second["id"], timeout=60)
+                metrics = client.metrics()
+        finally:
+            open_gate("coalesce-blocker")
+        assert out1["result"] == out2["result"]
+        assert out2["job"]["source"] == "coalesced"
+        assert metrics["counters"]["executions"] == 2  # blocker + one dup
+        assert metrics["counters"]["coalesced"] == 1
+        assert metrics["per_tenant"]["zeta"]["coalesced"] == 1
+
+    def test_backpressure_is_deterministic(self, cache):
+        blocker = gated_task("bp-blocker")
+        try:
+            with serve(cache, workers=1, max_queue=3,
+                       max_tenant_queue=2) as srv:
+                client = ServiceClient(srv.url)
+                held = client.submit(blocker, tenant="ops")
+                wait_for(lambda: client.job(held["id"])["state"] == "running",
+                         what="gate job to start")
+                # per-tenant bound: third queued job for one tenant is
+                # refused while another tenant still has room
+                client.submit(tile_task(rows=4), tenant="greedy")
+                client.submit(tile_task(rows=8), tenant="greedy")
+                with pytest.raises(BackpressureError) as exc:
+                    client.submit(tile_task(rows=16), tenant="greedy")
+                assert exc.value.payload["scope"] == "greedy"
+                assert exc.value.retry_after >= 1
+                # global bound: queue depth is now 3 (= max_queue)
+                accepted = client.submit(tile_task(rows=16), tenant="polite")
+                with pytest.raises(BackpressureError) as exc:
+                    client.submit(tile_task(rows=32), tenant="polite")
+                assert exc.value.payload["scope"] == "global"
+                open_gate("bp-blocker")
+                client.wait(accepted["id"], timeout=60)
+                # queue drained: the same submission is accepted now
+                retried = client.submit(tile_task(rows=32), tenant="polite")
+                out = client.wait(retried["id"], timeout=60)
+                assert out["state"] == "done"
+                metrics = client.metrics()
+        finally:
+            open_gate("bp-blocker")
+        assert metrics["counters"]["rejected"] == 2
+        assert metrics["fairness"]["rejected"] == 2
+
+    def test_fair_share_ordering_under_saturation(self, cache):
+        """A flooding tenant cannot starve a small one: with the queue
+        saturated, the small tenant's jobs run interleaved, not last."""
+        blocker = gated_task("fair-blocker")
+        flood = [tile_task(nprocs=2, rows=4 * (i + 1)) for i in range(6)]
+        meek = [tile_task(nprocs=2, rows=4 * (i + 1), seed=1)
+                for i in range(2)]
+        try:
+            with serve(cache, workers=1, max_queue=32) as srv:
+                client = ServiceClient(srv.url)
+                held = client.submit(blocker, tenant="ops")
+                wait_for(lambda: client.job(held["id"])["state"] == "running",
+                         what="gate job to start")
+                flood_jobs = [client.submit(t, tenant="flood")
+                              for t in flood]
+                meek_jobs = [client.submit(t, tenant="meek") for t in meek]
+                open_gate("fair-blocker")
+                for j in flood_jobs + meek_jobs:
+                    client.wait(j["id"], timeout=120)
+                served = [client.job(j["id"]) for j in flood_jobs + meek_jobs]
+                metrics = client.metrics()
+        finally:
+            open_gate("fair-blocker")
+        order = sorted(served, key=lambda j: j["started"])
+        first_four = [j["tenant"] for j in order[:4]]
+        assert first_four.count("meek") == 2, first_four
+        assert metrics["fairness"]["served"]["meek"] == 2
+        assert metrics["fairness"]["served"]["flood"] == 6
+
+    def test_events_stream_and_result_lifecycle(self, cache):
+        task = tile_task(rows=12)
+        with serve(cache) as srv:
+            client = ServiceClient(srv.url)
+            job = client.submit(task, tenant="acme")
+            events = list(client.events(job["id"]))  # follows to terminal
+            kinds = [e["event"] for e in events]
+            assert kinds[0] == "queued"
+            assert "running" in kinds
+            assert kinds[-1] == "done"
+            assert [e["seq"] for e in events] == sorted(
+                e["seq"] for e in events)
+            out = client.result(job["id"])
+            assert out["state"] == "done"
+            assert out["result"]["nprocs"] == task.config.nprocs
+
+    def test_unknown_job_404_and_pending_result_409(self, cache):
+        blocker = gated_task("pending-blocker")
+        try:
+            with serve(cache, workers=1) as srv:
+                client = ServiceClient(srv.url)
+                with pytest.raises(ServiceError) as exc:
+                    client.job("j999999")
+                assert exc.value.status == 404
+                held = client.submit(blocker, tenant="ops")
+                with pytest.raises(ServiceError) as exc:
+                    client.result(held["id"])
+                assert exc.value.status == 409
+                open_gate("pending-blocker")
+                client.wait(held["id"], timeout=60)
+        finally:
+            open_gate("pending-blocker")
+
+    def test_invalid_descriptor_is_rejected_with_400(self, cache):
+        with serve(cache) as srv:
+            client = ServiceClient(srv.url)
+            with pytest.raises(ServiceError) as exc:
+                client.submit({"config": {"nprocs": 4, "bogus": 1},
+                               "workload": "tile_io"})
+            assert exc.value.status == 400
+            assert "bogus" in str(exc.value)
+            metrics = client.metrics()
+        assert metrics["counters"]["invalid_requests"] == 1
+        assert metrics["counters"]["accepted"] == 0
+
+    def test_failed_job_reports_the_error(self, cache):
+        # tile grids must factor nprocs; 3 ranks on a (2, 2) grid cannot
+        bad = ExperimentTask(
+            ExperimentConfig(nprocs=3, lustre=LUSTRE), "tile_io",
+            TileIOConfig(tile_rows=4, tile_cols=4, grid=(2, 2)))
+        with serve(cache) as srv:
+            client = ServiceClient(srv.url)
+            job = client.submit(bad, tenant="acme")
+            out = client.wait(job["id"], timeout=60)
+            assert out["state"] == "failed"
+            assert out["error"]["type"] == "ConfigError"
+            metrics = client.metrics()
+        assert metrics["counters"]["failed"] == 1
+
+    def test_server_validate_flag_runs_the_oracle(self, cache):
+        task = tile_task(rows=4, nprocs=2)
+        with serve(cache, validate=True) as srv:
+            client = ServiceClient(srv.url)
+            job = client.submit(task, tenant="acme")
+            out = client.wait(job["id"], timeout=60)
+        assert out["result"]["validation"] is not None
+        assert out["result"]["validation"]["violations"] == []
+        assert sum(out["result"]["validation"]["checks"].values()) > 0
+
+    def test_metrics_document_shape(self, cache):
+        with serve(cache) as srv:
+            client = ServiceClient(srv.url)
+            client.submit(tile_task(rows=24), tenant="acme")
+            metrics = client.metrics()
+        for key in ("uptime_seconds", "counters", "per_tenant", "queue",
+                    "fairness", "run_cache", "jobs", "workers"):
+            assert key in metrics, key
+        assert metrics["run_cache"]["dir"]
+        assert metrics["queue"]["max_depth"] == 64
+
+    def test_warm_cache_survives_server_restart(self, cache):
+        task = tile_task(rows=20)
+        with serve(cache) as srv:
+            client = ServiceClient(srv.url)
+            job = client.submit(task, tenant="acme")
+            first = client.wait(job["id"], timeout=60)
+        with serve(cache) as srv:
+            client = ServiceClient(srv.url)
+            job = client.submit(task, tenant="zeta")
+            assert job["source"] == "cache"
+            second = client.result(job["id"])
+            metrics = client.metrics()
+        assert metrics["counters"]["executions"] == 0
+        assert metrics["counters"]["cache_hits"] == 1
+        assert first["result"] == second["result"]
+
+
+# ---------------------------------------------------------------------------
+# CLI verbs against a live server
+# ---------------------------------------------------------------------------
+class TestServiceCLI:
+    def test_submit_jobs_result_round_trip(self, cache, capsys):
+        from repro.cli import main
+
+        with serve(cache) as srv:
+            url = srv.url
+            rc = main(["submit", "tile_io", "--nprocs", "4",
+                       "--workload-config",
+                       '{"tile_rows": 8, "tile_cols": 8}',
+                       "--tenant", "acme", "--wait", "--url", url])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "write bandwidth" in out
+            assert "tenant=acme" in out
+
+            rc = main(["jobs", "--url", url, "--tenant", "acme"])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "j000001" in out and "done" in out
+
+            rc = main(["result", "j000001", "--url", url])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "write bandwidth" in out
+
+    def test_submit_usage_errors(self, cache, capsys):
+        from repro.cli import main
+
+        rc = main(["submit", "--url", "http://127.0.0.1:1"])
+        assert rc == 2  # no workload and no --task-file
+        rc = main(["submit", "tile_io", "--config", "not-json",
+                   "--url", "http://127.0.0.1:1"])
+        assert rc == 2
+        capsys.readouterr()
+
+    def test_result_of_pending_job_exits_3(self, cache, capsys):
+        from repro.cli import main
+
+        blocker = gated_task("cli-blocker")
+        try:
+            with serve(cache, workers=1) as srv:
+                client = ServiceClient(srv.url)
+                held = client.submit(blocker, tenant="ops")
+                rc = main(["result", held["id"], "--url", srv.url])
+                err = capsys.readouterr().err
+                assert rc == 3
+                assert "still" in err
+                open_gate("cli-blocker")
+                client.wait(held["id"], timeout=60)
+        finally:
+            open_gate("cli-blocker")
