@@ -180,10 +180,12 @@ def _run_perf(args: argparse.Namespace) -> int:
                   f"{', '.join(sorted(CONFIGS))}", file=sys.stderr)
             return 2
         table, perf = profile_config(args.experiment, smoke=not args.full,
-                                     top=args.top, sort=args.sort)
+                                     top=args.top, sort=args.sort,
+                                     shards=args.shards)
         scale = "full" if args.full else "smoke"
-        print(f"profile of {args.experiment} ({scale} scale, cProfile "
-              "overhead included):")
+        sharded = f", {args.shards} shards" if args.shards > 1 else ""
+        print(f"profile of {args.experiment} ({scale} scale{sharded}, "
+              "cProfile overhead included):")
         print(table)
         print("sim perf counters:")
         for label, value in perf.lines():
@@ -311,6 +313,8 @@ def _run_submit(args: argparse.Namespace) -> int:
             config = parse_json_arg(args.config, "--config")
             if args.nprocs is not None:
                 config["nprocs"] = args.nprocs
+            if args.shards is not None:
+                config["shards"] = args.shards
             descriptor = {"config": config, "workload": args.workload}
             wl = parse_json_arg(args.workload_config, "--workload-config")
             if wl:
@@ -480,6 +484,10 @@ def main(argv: list[str] | None = None) -> int:
     p_profile.add_argument("--sort", default="cumulative",
                            choices=("cumulative", "tottime", "calls"),
                            help="cProfile sort order")
+    p_profile.add_argument("--shards", type=int, default=1, metavar="N",
+                           help="partition the run across N engine "
+                                "shards (parcoll workloads only; others "
+                                "fall back to one engine)")
     perf_sub.add_parser("list", help="list profileable experiments")
 
     p_cache = sub.add_parser("cache",
@@ -529,6 +537,9 @@ def main(argv: list[str] | None = None) -> int:
                                "btio, flash_io); or use --task-file")
     p_submit.add_argument("--nprocs", type=int, default=None,
                           help="shorthand for config nprocs")
+    p_submit.add_argument("--shards", type=int, default=None, metavar="N",
+                          help="shorthand for config shards (sharded "
+                               "parallel execution for parcoll workloads)")
     p_submit.add_argument("--config", default=None, metavar="JSON",
                           help="ExperimentConfig fields as a JSON object")
     p_submit.add_argument("--workload-config", default=None, metavar="JSON",

@@ -113,3 +113,16 @@ class ParCollError(ReproError):
 
 class ConfigError(ReproError):
     """An invalid experiment or machine configuration."""
+
+
+class ShardError(SimulationError):
+    """A sharded-run invariant was violated.
+
+    Raised when a shard observes traffic it cannot handle conservatively:
+    a point-to-point message crossing a shard boundary, a cross-shard
+    collective whose fidelity resolves to a per-message backend, or a
+    coordinator round that can make no progress.  Sharded execution is
+    only attempted for configurations :func:`repro.shard.analyze`
+    declares shardable, so this surfacing at runtime means the shard
+    plan and the workload disagree — a bug, not a user error.
+    """

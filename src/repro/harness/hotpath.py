@@ -120,6 +120,59 @@ def run_scale(nprocs: int = 4096,
     }
 
 
+def shard_scale_config(nprocs: int = 4096,
+                       shards: int = 1) -> tuple[ExperimentConfig, Any, Any]:
+    """Parcoll tile-IO with detailed subgroup physics — the shard probe.
+
+    The configuration is deliberately shard-friendly: parcoll with one
+    FA subgroup cluster per shard, world-spanning collectives analytic
+    (bridged across shards), everything inside a subgroup at detailed
+    per-message fidelity.  At 4096 ranks a single engine carries the
+    whole detailed event stream; sharding splits it into independent
+    per-subgroup streams, which is where the parallel speedup comes
+    from.  ``BENCH_sharded_scaling.json`` records the wall times.
+    """
+    # one FA subgroup per 128 ranks: the detailed exchange is quadratic
+    # in group size, so fixed group width keeps the single-engine
+    # baseline tractable while still giving shards real work to split
+    ngroups = max(4, nprocs // 128) if nprocs >= 512 else 4
+    cfg = ExperimentConfig(
+        nprocs=nprocs, shards=shards,
+        collective_mode="scoped:world=analytic,default=detailed",
+        lustre={"n_osts": 32, "default_stripe_count": 32})
+    wl = TileIOConfig(tile_rows=128, tile_cols=96, element_size=64,
+                      hints={"protocol": "parcoll",
+                             "parcoll_ngroups": ngroups})
+    return cfg, wl, partial(tile_io_program, wl)
+
+
+def run_shard_scale(nprocs: int = 4096, shards: int = 1,
+                    collective_mode: Optional[str] = None) -> dict:
+    """Run the shard probe through :func:`run_experiment`; the sharded
+    dispatch (and its single-engine fallback) is part of what is being
+    measured.  Returns virtual metrics plus host wall seconds and the
+    run's shard observability block."""
+    from repro.harness.runner import run_experiment
+
+    cfg, _wl, program = shard_scale_config(nprocs, shards)
+    if collective_mode is not None:
+        cfg = dataclasses.replace(cfg, collective_mode=collective_mode)
+    t0 = time.perf_counter()
+    result = run_experiment(cfg, program)
+    wall = time.perf_counter() - t0
+    return {
+        "nprocs": nprocs,
+        "shards": shards,
+        "wall_s": round(wall, 4),
+        "events": result.events,
+        "events_per_sec": round(result.events / wall, 1) if wall else 0.0,
+        "messages": result.messages,
+        "elapsed_total": repr(result.elapsed_total),
+        "write_bandwidth": repr(result.write_bandwidth),
+        "shard": result.perf.shard if result.perf is not None else None,
+    }
+
+
 def run_config(name: str, smoke: bool = False,
                perf_out: Optional[list] = None,
                collective_mode: Optional[str] = None) -> dict:
@@ -175,16 +228,32 @@ def run_config(name: str, smoke: bool = False,
 
 
 def profile_config(name: str, smoke: bool = False, top: int = 25,
-                   sort: str = "cumulative") -> tuple[str, PerfStats]:
+                   sort: str = "cumulative",
+                   shards: int = 1) -> tuple[str, PerfStats]:
     """Run one named config under cProfile.
 
     Returns the formatted top-``top`` hot-function table and the run's
     :class:`PerfStats` (wall seconds here include profiler overhead).
+    With ``shards > 1`` the run goes through :func:`run_experiment` so
+    the sharded dispatch applies; non-parcoll configs fall back to one
+    engine and the perf block records the reason.  Profiling then only
+    sees the coordinator side — the shard engines live in worker
+    processes outside cProfile's reach.
     """
     from repro.perf import profile_experiment
 
     perf_out: list = []
-    table = profile_experiment(
-        lambda: run_config(name, smoke=smoke, perf_out=perf_out),
-        top=top, sort=sort)
+    if shards > 1:
+        from repro.harness.runner import run_experiment
+
+        cfg, _wl, program = CONFIGS[name](smoke)
+        cfg = dataclasses.replace(cfg, shards=shards)
+
+        def job() -> None:
+            result = run_experiment(cfg, program)
+            perf_out.append(result.perf)
+    else:
+        def job() -> None:
+            run_config(name, smoke=smoke, perf_out=perf_out)
+    table = profile_experiment(job, top=top, sort=sort)
     return table, perf_out[0]

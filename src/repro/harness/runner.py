@@ -55,6 +55,12 @@ class ExperimentConfig:
     #: on, False leaves the platform default (the ``REPRO_VALIDATE``
     #: environment variable / ``parcoll_validate`` hint still apply)
     validate: bool = False
+    #: engine shards for the sharded parallel DES (:mod:`repro.shard`):
+    #: >1 partitions the event space along FA-subgroup boundaries into
+    #: that many worker processes when the config satisfies the
+    #: partition contract, and falls back to an unsharded run (with the
+    #: reason recorded in ``perf.shard``) when it does not
+    shards: int = 1
 
     def build(self) -> tuple[World, LustreFS, MPIIO]:
         from repro.faults import FaultInjector, FaultPlan, RetryPolicy
@@ -157,8 +163,25 @@ Program = Callable[[Any, Any], Generator[Any, Any, WorkloadIOStats]]
 
 
 def run_experiment(config: ExperimentConfig, program: Program) -> RunResult:
-    """Run ``program(comm, io)`` on every rank of a fresh platform."""
+    """Run ``program(comm, io)`` on every rank of a fresh platform.
+
+    With ``config.shards > 1`` and a plan-conforming configuration the
+    run is partitioned over that many engine shards in worker processes
+    (:mod:`repro.shard`); the merged result is bit-identical in every
+    virtual-time metric to the unsharded run.  Non-conforming configs
+    fall back to a single engine and record why in ``perf.shard``.
+    """
     import time
+
+    plan = None
+    if config.shards > 1:
+        from repro.shard import analyze, workload_hints_of
+
+        plan = analyze(config, workload_hints_of(program))
+        if plan.active:
+            from repro.shard.coordinator import run_sharded
+
+            return run_sharded(config, program, plan)
 
     world, fs, io = config.build()
 
@@ -173,6 +196,11 @@ def run_experiment(config: ExperimentConfig, program: Program) -> RunResult:
     t0 = time.perf_counter()
     per_rank = world.launch(rank_main)
     wall = time.perf_counter() - t0
+    perf = collect(world, wall_seconds=wall)
+    if plan is not None:
+        from repro.shard.coordinator import shard_stats
+
+        perf.shard = shard_stats(plan)
     return RunResult(
         config=config,
         per_rank=per_rank,
@@ -181,7 +209,7 @@ def run_experiment(config: ExperimentConfig, program: Program) -> RunResult:
         messages=world.network.messages_sent,
         elapsed_total=world.engine.now,
         backend=world.collective_mode,
-        perf=collect(world, wall_seconds=wall),
+        perf=perf,
         validation=(io.validator.report.to_dict()
                     if io.validator is not None else None),
     )

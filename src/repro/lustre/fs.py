@@ -25,10 +25,24 @@ from repro.errors import FileSystemError
 from repro.lustre.layout import StripeLayout
 from repro.lustre.locks import LockManager
 from repro.lustre.store import ByteStore, ExtentTracker
-from repro.sim.effects import Sleep
-from repro.sim.engine import Engine
+from repro.sim.effects import Sleep, WaitEvent
+from repro.sim.engine import _K_CALL1, Engine, Event
 from repro.sim.resources import FIFOResource
 from repro.sim.rng import RngStreams
+
+#: heap-seq band for same-instant file-system commits.  Every FS
+#: operation defers its state mutation (resource reservation, lock
+#: access, jitter draw, store update) to an entry at
+#: ``(now, _FS_COMMIT_SEQ + client)``: all ordinary engine traffic at an
+#: instant runs first, then the FS commits in client-rank order.  That
+#: makes the global service order of same-time requests *canonical* —
+#: a deterministic function of (time, client) instead of an artifact of
+#: event-cascade scheduling — which is what lets a sharded run
+#: (:mod:`repro.shard`) reproduce it exactly.  Far above any reachable
+#: engine sequence number.
+_FS_COMMIT_SEQ = 1 << 62
+#: sub-band for anonymous (client < 0) callers, ordered by arrival
+_FS_COMMIT_ANON = 1 << 63
 
 
 @dataclass(frozen=True)
@@ -142,6 +156,8 @@ class LustreFS:
         self.retry = retry
         #: per-client (retry seconds, lost RPCs) since last take_retry()
         self._retry_accum: dict[int, tuple[float, int]] = {}
+        #: arrival counter ordering anonymous (client < 0) commits
+        self._anon_commits = 0
         self._rng = RngStreams(seed)
         self._ost_rngs = [self._rng.stream(f"ost-{i}") for i in range(p.n_osts)]
         #: last byte each OST served, per file (sequentiality tracking)
@@ -153,14 +169,51 @@ class LustreFS:
         self.bytes_read = 0
 
     # ------------------------------------------------------------------
+    # canonical commit ordering
+    # ------------------------------------------------------------------
+    def _commit(self, client: int, fn):
+        """Run ``fn`` at this instant's canonical commit slot.
+
+        Defers the operation's state mutation to the
+        :data:`_FS_COMMIT_SEQ` heap band so same-time operations commit
+        in client-rank order regardless of task scheduling order.
+        Returns ``fn()``'s value; exceptions re-raise in the caller.
+        """
+        eng = self.engine
+        if client >= 0:
+            seq = _FS_COMMIT_SEQ + client
+        else:
+            self._anon_commits += 1
+            seq = _FS_COMMIT_ANON + self._anon_commits
+        ev = Event(eng, ("fs-commit", client))
+
+        def run(_none):
+            try:
+                ev.fire((True, fn()))
+            except Exception as exc:  # re-raised in the waiting task
+                ev.fire((False, exc))
+
+        eng._sched_at_seq(eng.now, seq, _K_CALL1, run, None)
+        ok, out = yield WaitEvent(ev)
+        if not ok:
+            raise out
+        return out
+
+    # ------------------------------------------------------------------
     # metadata
     # ------------------------------------------------------------------
     def open(self, name: str, create: bool = True,
              stripe_count: Optional[int] = None,
-             stripe_size: Optional[int] = None
-             ) -> Generator[Any, Any, LustreFile]:
-        """Open (and maybe create) a file; serializes through the MDS."""
-        yield from self.mds.service(0)
+             stripe_size: Optional[int] = None,
+             client: int = -1) -> Generator[Any, Any, LustreFile]:
+        """Open (and maybe create) a file; serializes through the MDS.
+
+        ``client`` identifies the calling rank; it breaks same-instant
+        ordering ties and keys the canonical global service order in
+        sharded runs.
+        """
+        done = yield from self._commit(client, lambda: self.mds.reserve(0))
+        yield Sleep(done - self.engine.now)
         f = self._files.get(name)
         if f is None:
             if not create:
@@ -183,9 +236,15 @@ class LustreFS:
             raise FileSystemError(f"no such file: {name!r}")
         return f
 
-    def unlink(self, name: str) -> Generator[Any, Any, None]:
-        yield from self.mds.service(0)
+    def unlink(self, name: str, client: int = -1) -> Generator[Any, Any, None]:
+        done = yield from self._commit(client, lambda: self.mds.reserve(0))
+        yield Sleep(done - self.engine.now)
         self._files.pop(name, None)
+
+    def mds_close(self, client: int = -1) -> Generator[Any, Any, None]:
+        """One close-time MDS round trip, attributable to ``client``."""
+        done = yield from self._commit(client, lambda: self.mds.reserve(0))
+        yield Sleep(done - self.engine.now)
 
     # ------------------------------------------------------------------
     # data path
@@ -294,13 +353,20 @@ class LustreFS:
                 raise FileSystemError(
                     f"data has {flat.size} bytes, segments cover {total}"
                 )
-            pos = 0
+        else:
+            flat = None
+
+        def commit():
+            if flat is not None:
+                pos = 0
+                for off, ln in zip(offsets.tolist(), lengths.tolist()):
+                    f.store.write(off, flat[pos:pos + ln])
+                    pos += ln
             for off, ln in zip(offsets.tolist(), lengths.tolist()):
-                f.store.write(off, flat[pos:pos + ln])
-                pos += ln
-        for off, ln in zip(offsets.tolist(), lengths.tolist()):
-            f.tracker.write(off, ln)
-        done = self._do_io(f, client, offsets, lengths, "w", retry=retry)
+                f.tracker.write(off, ln)
+            return self._do_io(f, client, offsets, lengths, "w", retry=retry)
+
+        done = yield from self._commit(client, commit)
         self.bytes_written += total
         yield Sleep(done - self.engine.now)
         return total
@@ -312,7 +378,10 @@ class LustreFS:
         offsets = np.asarray(offsets, dtype=np.int64).ravel()
         lengths = np.asarray(lengths, dtype=np.int64).ravel()
         total = int(lengths.sum())
-        done = self._do_io(f, client, offsets, lengths, "r", retry=retry)
+        done = yield from self._commit(
+            client,
+            lambda: self._do_io(f, client, offsets, lengths, "r",
+                                retry=retry))
         self.bytes_read += total
         yield Sleep(done - self.engine.now)
         if f.store is None:

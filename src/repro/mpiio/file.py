@@ -129,7 +129,8 @@ class MPIIO:
         t0 = comm.now
         lfile = yield from self.fs.open(name, create=True,
                                         stripe_count=stripe_count,
-                                        stripe_size=stripe_size)
+                                        stripe_size=stripe_size,
+                                        client=comm.proc.rank)
         comm.proc.breakdown.add("meta", comm.now - t0)
         key = (comm.desc.ctx, name)
         shared = self._shared.get(key)
@@ -395,7 +396,7 @@ class MPIFile:
             # collective or independent — has reached the file system
             self._validator.check_file(self.lfile)
         t0 = comm.now
-        yield from self.io.fs.mds.service(0)
+        yield from self.io.fs.mds_close(client=comm.proc.rank)
         comm.proc.breakdown.add("meta", comm.now - t0)
         delta = {
             cat: t - self._open_snapshot.get(cat, 0.0)

@@ -176,7 +176,7 @@ def nodeagg_read(env: IOEnv, segs: Segments, state: dict
     forwarded = sum(int(s[1].sum()) for m, s in requests if m != comm.rank)
     if len(members) > 1:
         yield from _charge_memcpy(env, forwarded)
-    use_batch = comm.backend.fidelity("exchange") == "macro"
+    use_batch = comm.backend.fidelity("exchange", comm=comm) == "macro"
     reply_reqs = []
     reply_batch: list = []
     my_piece: Optional[np.ndarray] = None

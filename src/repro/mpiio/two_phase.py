@@ -324,7 +324,7 @@ def collective_write(env: IOEnv, segs: Segments,
         raise MPIIOError("verified-mode collective write requires data")
 
     memcpy_bw = comm.world.network.params.memcpy_bandwidth
-    use_batch = comm.backend.fidelity("exchange") == "macro"
+    use_batch = comm.backend.fidelity("exchange", comm=comm) == "macro"
     pending: list = []
     node_info = None
     if env.hints.cb_node_consolidation:
@@ -507,7 +507,7 @@ def collective_read(env: IOEnv, segs: Segments,
     out = np.empty(total, dtype=np.uint8) if verified else None
 
     memcpy_bw = comm.world.network.params.memcpy_bandwidth
-    use_batch = comm.backend.fidelity("exchange") == "macro"
+    use_batch = comm.backend.fidelity("exchange", comm=comm) == "macro"
     plan = plan_rounds(segs, aggs, starts, ends, cb)
     if env.validator is not None:
         env.validator.check_exchange_plan(segs, plan, ntimes)
@@ -600,7 +600,7 @@ def _read_and_reply(env: IOEnv, all_counts: np.ndarray, local_want,
     verified = union_data is not None
     # replies go out as isends: a blocking (rendezvous) send here could
     # deadlock against a requester still waiting on another aggregator
-    use_batch = comm.backend.fidelity("exchange") == "macro"
+    use_batch = comm.backend.fidelity("exchange", comm=comm) == "macro"
     reply_reqs = []
     reply_batch: list = []
     for src, sub in requests:

@@ -47,9 +47,11 @@ def distribute_aggregators(groups: list[list[int]], agg_ranks: list[int],
 
     # aggregator node slots, in list order, deduplicated
     slots: list[int] = []
+    seen: set[int] = set()
     for r in agg_ranks:
         n = node_of(r)
-        if n not in slots:
+        if n not in seen:
+            seen.add(n)
             slots.append(n)
     members_by_node: list[dict[int, int]] = []
     for g in groups:

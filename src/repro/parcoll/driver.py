@@ -119,8 +119,16 @@ def _prepare(env: IOEnv, segs: Segments, cache: dict
                 return plan, subcomm, sub_hints, iview
             # 'auto' with drift somewhere: fall through to a global re-plan
     extents = yield from comm.allgather((lo, hi, nbytes), category="sync")
-    plan = plan_partition(extents, env.hints.parcoll_ngroups,
-                          allow_intermediate=env.hints.parcoll_intermediate_views)
+    # every rank computes the identical plan from the gathered extents —
+    # doing so per rank is quadratic in nprocs, so the first rank through
+    # stores the (immutable, shared) plan for the rest
+    gkey = ("gplan", env.hints.parcoll_ngroups,
+            env.hints.parcoll_intermediate_views, tuple(extents))
+    plan = cache.get(gkey)
+    if plan is None:
+        plan = plan_partition(extents, env.hints.parcoll_ngroups,
+                              allow_intermediate=env.hints.parcoll_intermediate_views)
+        cache[gkey] = plan
     if env.validator is not None:
         env.validator.check_partition_plan(plan, extents)
     # the cache dict is shared by all ranks of the file, but communicator
@@ -132,13 +140,22 @@ def _prepare(env: IOEnv, segs: Segments, cache: dict
     if cached is None:
         my_group = plan.group_of[comm.rank]
         subcomm = yield from comm.split(color=my_group, category="sync")
-        # aggregator distribution is deterministic: all ranks compute it
-        groups = [[r for r in range(comm.size) if plan.group_of[r] == g]
-                  for g in range(plan.ngroups)]
-        parent_aggs = default_aggregators(comm.desc.members, env.machine,
-                                          env.hints)
-        per_group = distribute_aggregators(groups, parent_aggs,
-                                           comm.desc.members, env.machine)
+        # aggregator distribution is deterministic: all ranks would
+        # compute the identical assignment, so only the first one does —
+        # the split above stays per-rank (communicator handles are)
+        dist_key = ("dist", plan.cache_key())
+        dist = cache.get(dist_key)
+        if dist is None:
+            groups: list[list[int]] = [[] for _ in range(plan.ngroups)]
+            for r, g in enumerate(plan.group_of):
+                groups[g].append(r)
+            parent_aggs = default_aggregators(comm.desc.members, env.machine,
+                                              env.hints)
+            per_group = distribute_aggregators(groups, parent_aggs,
+                                               comm.desc.members, env.machine)
+            dist = (groups, parent_aggs, per_group)
+            cache[dist_key] = dist
+        groups, parent_aggs, per_group = dist
         if env.validator is not None:
             members = comm.desc.members
 

@@ -54,6 +54,11 @@ class PerfStats:
     cache_misses: int = 0
     cache_stores: int = 0
     cache_corrupt: int = 0
+    #: shard-observability block of a sharded run (None on unsharded
+    #: runs): requested/effective shard counts, fallback reason,
+    #: synchronization rounds, per-shard event counts, wall and CPU
+    #: times, and the load-imbalance ratio (max shard CPU / mean)
+    shard: Optional[dict] = None
 
     def add_cache(self, stats) -> "PerfStats":
         """Fold a :class:`~repro.harness.parallel.CacheStats` in."""
@@ -79,11 +84,31 @@ class PerfStats:
                 if v:
                     out.append(("wall seconds", f"{v:.3f}"))
                 continue
+            if f.name == "shard":
+                continue  # rendered below from the dict
             if f.name.startswith("cache_") and not v:
                 continue  # cache counters only exist on aggregated stats
             out.append((f.name.replace("_", " "), f"{v:,}"))
         if self.wall_seconds > 0:
             out.append(("events per sec", f"{self.events_per_sec:,.0f}"))
+        if self.shard:
+            sh = self.shard
+            out.append(("shards (effective/requested)",
+                        f"{sh.get('effective', 1)}/{sh.get('shards', 1)}"))
+            if sh.get("fallback_reason"):
+                out.append(("shard fallback", str(sh["fallback_reason"])))
+            if sh.get("sync_rounds"):
+                out.append(("shard sync rounds", f"{sh['sync_rounds']:,}"))
+            if "max_shard_wall" in sh:
+                out.append(("shard wall max/min",
+                            f"{sh['max_shard_wall']:.3f}/"
+                            f"{sh['min_shard_wall']:.3f}"))
+            if "max_shard_cpu" in sh:
+                out.append(("shard cpu max (critical path)",
+                            f"{sh['max_shard_cpu']:.3f}"))
+            if "load_imbalance" in sh:
+                out.append(("shard load imbalance",
+                            f"{sh['load_imbalance']:.2f}x"))
         return out
 
 
@@ -156,7 +181,12 @@ def merge(stats: "list[PerfStats]") -> PerfStats:
         if st is None:
             continue
         for f in fields(PerfStats):
+            if f.name == "shard":
+                continue  # not a counter; carried below
             setattr(out, f.name, getattr(out, f.name) + getattr(st, f.name))
+        shard = getattr(st, "shard", None)
+        if out.shard is None and shard is not None:
+            out.shard = shard
     return out
 
 

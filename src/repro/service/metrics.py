@@ -88,6 +88,10 @@ class ServiceMetrics:
             "sim_perf": {f: getattr(self.perf, f) for f in (
                 "effects_dispatched", "macro_rounds", "messages_coalesced",
                 "wall_seconds")},
+            # shard block of the first execution that requested shards
+            # (merge carries the first non-None dict): effective shard
+            # count, sync rounds, load imbalance, or the fallback reason
+            "sharding": self.perf.shard,
         }
         if scheduler is not None:
             out["queue"] = {

@@ -112,6 +112,8 @@ def parse_task(obj: Mapping[str, Any]) -> ExperimentTask:
     config = _build(ExperimentConfig, obj.get("config") or {}, "config")
     if config.nprocs < 1:
         raise DescriptorError(f"nprocs must be >= 1, got {config.nprocs}")
+    if config.shards < 1:
+        raise DescriptorError(f"shards must be >= 1, got {config.shards}")
 
     from repro.simmpi.backends import resolve_backend
 

@@ -1,0 +1,31 @@
+"""Sharded parallel DES: one engine per FA-subgroup cluster.
+
+ParColl's partitioned structure (paper §3) makes the detailed simulation
+parallelizable: between global synchronizations the FA subgroups are
+causally independent, so the event space splits along subgroup
+boundaries into per-process engine shards, synchronized conservatively
+at collective entry/exit and through the coordinator-owned global file
+system.  Results merge into a single :class:`~repro.harness.runner.
+RunResult` bit-identical to an unsharded run.
+
+Entry points:
+
+* :func:`~repro.shard.plan.analyze` — the partition contract;
+* :func:`~repro.shard.coordinator.run_sharded` — run one experiment
+  over ``plan.effective`` worker processes.
+"""
+
+from repro.shard.plan import ShardPlan, analyze, workload_hints_of
+
+__all__ = ["ShardPlan", "analyze", "workload_hints_of", "run_sharded",
+           "shard_stats"]
+
+
+def __getattr__(name):
+    # run_sharded pulls in multiprocessing + the full worker stack;
+    # keep `import repro.shard` cheap for plan-only callers.
+    if name in ("run_sharded", "shard_stats"):
+        from repro.shard import coordinator
+
+        return getattr(coordinator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -218,6 +218,16 @@ class Engine:
         self.heap_pushes = 0
         #: scheduler entries that bypassed the heap via the ready deque
         self.heap_bypasses = 0
+        #: number of tasks blocked on events that an *external* driver
+        #: (the shard sync loop) will fire; while nonzero, draining the
+        #: scheduler with blocked tasks returns instead of deadlocking
+        self.external_pending = 0
+        #: dynamic run ceiling: :meth:`run` hands control back before
+        #: advancing past this time.  Unlike the ``until`` argument it
+        #: may shrink *mid-run* — a shard sets it to the earliest
+        #: unanswered external request so the clock can never overtake a
+        #: reply that resumes a task shortly after its submission time.
+        self.stop_bound: Optional[float] = None
 
     # ------------------------------------------------------------------
     # scheduling primitives
@@ -233,6 +243,22 @@ class Engine:
         self._seq += 1
         self.heap_pushes += 1
         heapq.heappush(self._heap, (t, self._seq, kind, a, b))
+
+    def _sched_at_seq(self, t: float, seq: int, kind: int, a: Any, b: Any) -> None:
+        """Schedule a dispatch entry at an explicit ``(t, seq)`` heap slot.
+
+        Used by components that mirror the engine's sequence space (the
+        macro collective walker): the entry lands at exactly the heap
+        position a conventionally-scheduled entry with that seq would
+        have occupied, so same-instant ordering against unrelated
+        traffic is preserved by construction.  ``t == now`` is allowed
+        and intentionally does *not* take the ready-deque bypass — the
+        heap position is the point.
+        """
+        if t < self.now:
+            raise SimulationError(f"cannot schedule in the past: {t} < {self.now}")
+        self.heap_pushes += 1
+        heapq.heappush(self._heap, (t, seq, kind, a, b))
 
     def call_at(self, t: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` at virtual time ``t`` (>= now)."""
@@ -423,6 +449,11 @@ class Engine:
                 if until is not None and heap[0][0] > until and not ready:
                     self.now = until
                     return until
+                sb = self.stop_bound
+                if sb is not None and heap[0][0] > sb and not ready:
+                    if sb > now:
+                        self.now = sb
+                    return self.now
                 t, _seq, kind, a, b = pop(heap)
                 self.now = now = t
             else:
@@ -440,6 +471,10 @@ class Engine:
         blocked = [task.describe() for task in self._live_tasks.values()
                    if not task.done]
         if blocked:
+            if self.external_pending > 0:
+                # tasks are waiting on replies an external driver (the
+                # shard coordinator) will deliver; hand control back
+                return self.now
             raise DeadlockError(blocked)
         return self.now
 

@@ -45,15 +45,19 @@ class CollectiveBackend:
     #: registry name of this backend (set by subclasses)
     name: str = "?"
 
-    def fidelity(self, category: str, nbytes: Optional[int] = None) -> str:
+    def fidelity(self, category: str, nbytes: Optional[int] = None,
+                 comm=None) -> str:
         """Leaf fidelity ('analytic' / 'detailed') for one collective.
 
         ``category`` is the time-accounting category the call site charges
         the collective to ('sync', 'exchange', 'io', ...); ``nbytes`` is
         the caller-declared per-rank message size, or None when the call
-        site sized the payload by introspection.  Implementations must
-        return the same fidelity on every rank for one collective —
-        dispatch only on these (rank-symmetric) arguments.
+        site sized the payload by introspection.  ``comm`` is the issuing
+        communicator (or None from call sites that predate it) — scope
+        backends dispatch on its (rank-symmetric) identity, e.g. world
+        versus derived subgroup.  Implementations must return the same
+        fidelity on every rank for one collective — dispatch only on
+        these (rank-symmetric) arguments.
         """
         raise NotImplementedError
 
@@ -131,7 +135,8 @@ def _reject_options(name: str, options: str) -> None:
 class _LeafBackend(CollectiveBackend):
     """A single-fidelity backend: every category runs the same path."""
 
-    def fidelity(self, category: str, nbytes: Optional[int] = None) -> str:
+    def fidelity(self, category: str, nbytes: Optional[int] = None,
+                 comm=None) -> str:
         return self.name
 
     @classmethod
@@ -167,7 +172,8 @@ class HybridBackend(CollectiveBackend):
                     f"{leaf_fidelities()}, got {fid!r}"
                 )
 
-    def fidelity(self, category: str, nbytes: Optional[int] = None) -> str:
+    def fidelity(self, category: str, nbytes: Optional[int] = None,
+                 comm=None) -> str:
         return self._table.get(category, self._default)
 
     def describe(self) -> str:
@@ -240,7 +246,8 @@ class SizeThresholdBackend(CollectiveBackend):
         self.below = below
         self.above = above
 
-    def fidelity(self, category: str, nbytes: Optional[int] = None) -> str:
+    def fidelity(self, category: str, nbytes: Optional[int] = None,
+                 comm=None) -> str:
         if nbytes is None or nbytes < self.threshold:
             return self.below
         return self.above
@@ -286,3 +293,65 @@ class SizeThresholdBackend(CollectiveBackend):
 
 
 register_backend(SizeThresholdBackend.name, SizeThresholdBackend.from_spec)
+
+
+class ScopedBackend(CollectiveBackend):
+    """Communicator-scope fidelity: world collectives vs everything else.
+
+    ``scoped:world=analytic,default=macro`` runs collectives issued on
+    the *world* communicator (context 0 — the global barriers, extent
+    allgathers and splits that every rank joins) at one fidelity and
+    collectives on derived communicators (FA subgroups, node groups) at
+    another.  This is the shape the sharded DES needs: with world-scope
+    collectives analytic, cross-shard interaction reduces to pure
+    timestamp merging, while subgroup traffic — which never crosses a
+    shard boundary under ParColl's partition — keeps full message (or
+    macro) fidelity.  Call sites that cannot name their communicator
+    (``comm=None``) take the ``default`` path.
+    """
+
+    name = "scoped"
+    DEFAULT_WORLD = "analytic"
+    DEFAULT_SCOPED = "macro"
+
+    def __init__(self, world: Optional[str] = None,
+                 default: Optional[str] = None):
+        _ensure_builtins()
+        self._world = self.DEFAULT_WORLD if world is None else world
+        self._default = self.DEFAULT_SCOPED if default is None else default
+        for scope, fid in (("world", self._world),
+                           ("default", self._default)):
+            if fid not in _LEAF_FIDELITIES:
+                raise MPIError(
+                    f"scoped fidelity for {scope!r} must be one of "
+                    f"{leaf_fidelities()}, got {fid!r}"
+                )
+
+    def fidelity(self, category: str, nbytes: Optional[int] = None,
+                 comm=None) -> str:
+        if comm is not None and comm.desc.ctx == 0:
+            return self._world
+        return self._default
+
+    def describe(self) -> str:
+        return f"{self.name}:world={self._world},default={self._default}"
+
+    @classmethod
+    def from_spec(cls, options: str) -> "ScopedBackend":
+        """Parse ``world=<fidelity>,default=<fidelity>`` (both optional)."""
+        if not options:
+            return cls()
+        kwargs: dict = {}
+        for item in options.split(","):
+            key, sep, fid = item.partition("=")
+            key, fid = key.strip(), fid.strip()
+            if not sep or key not in ("world", "default") or not fid:
+                raise MPIError(
+                    f"malformed scoped backend entry {item!r}; expected "
+                    "'scoped:world=<fidelity>,default=<fidelity>'"
+                )
+            kwargs[key] = fid
+        return cls(**kwargs)
+
+
+register_backend(ScopedBackend.name, ScopedBackend.from_spec)

@@ -26,26 +26,26 @@ The walk reproduces the engine's execution *bit-identically*:
   the same global order, including rendezvous header/clear-to-send/data
   phases and piecewise fault speed profiles;
 * ties are broken exactly like the engine's ``(time, seq)`` heap key —
-  all macro rounds in a world share one walker heap and one sequence
-  space, allocated in engine push order and keyed ``(t, phase, seq)``,
-  so concurrent rounds (laggards still finishing round N while early
-  ranks entered round N+1, rounds on disjoint subcommunicators)
-  interleave in the one global order the per-message heap would impose;
+  the walker allocates its sequence numbers *from the engine's own
+  counter*, in the same order the per-message schedule would have
+  pushed its scheduler entries, so all macro rounds in a world and all
+  unrelated engine traffic share one sequence space; the walker heap is
+  keyed ``(t, phase, seq)`` (phase separates heap-stage bookkeeping
+  from deque-stage continuations, see below);
 * at a *contested* timestamp — engine ready-deque entries pending, or
-  foreign engine heap entries due — entry processing mirrors the
-  engine's two execution stages.  In the per-message simulation,
-  scheduler heap entries only do bookkeeping (deliveries match
-  mailboxes, fires append woken tasks to the ready deque) while all NIC
-  traffic is issued by task continuations draining FIFO from the ready
-  deque; the sole exception, a rendezvous data phase, reserves its NICs
-  from a real heap callback.  The walker's wake is itself a heap entry,
-  so at contested times it handles each due resumption at heap stage
-  only up to its first send — receive consumption, parking, and bare
-  exits (the analogue of an event fire) happen inline, and a cascade
-  about to issue a send is deferred to the engine ready deque in bind
-  order, where it runs at exactly the position the detailed task's
-  continuation would.  At uncontested timestamps no other actor can
-  observe the ordering and the walk advances inline at full speed.
+  foreign engine heap entries due — every due walker entry is requeued
+  into the *engine heap* at its own ``(t, seq)`` slot
+  (:meth:`Engine._sched_at_seq`), so it executes at exactly the
+  position the per-message schedule's entry would have occupied,
+  interleaved with unrelated same-instant traffic by construction.
+  Requeued bookkeeping entries (rendezvous headers, data phases — real
+  heap callbacks in the per-message schedule) run at heap stage; a
+  requeued rank resumption appends its cascade to the engine ready
+  deque when its slot dispatches, mirroring the detailed fire→deque
+  two-stage structure, and a rank exit reached at deque stage resumes
+  the parked task inline exactly where the detailed task's continuation
+  would have run.  At uncontested timestamps no other actor can observe
+  the ordering and the walk advances inline at full speed.
 
 Non-synchronizing collectives (bcast, reduce, gather, scatter, scan,
 exscan) can complete on some ranks before others arrive, so a site-based
@@ -55,14 +55,6 @@ The walk itself falls back when message timestamps are not strictly
 ordered after their causes (``send_overhead == 0`` or ``latency == 0``
 make same-time scheduling possible, which the replay cannot order), and
 for single-rank communicators (whose detailed path never yields).
-
-Caveat (documented in docs/architecture.md): deferred cascades join the
-engine ready deque when the walker's wake runs, so unrelated traffic
-whose same-instant scheduler entries interleave *between* the round's
-own sequence numbers can be ordered differently than the per-message
-simulation — deterministic, but a potential tie-break difference.
-Distinct timestamps (the generic case: overheads and latencies make
-exact cross-traffic ties measure-zero) are always ordered identically.
 """
 
 from __future__ import annotations
@@ -75,7 +67,7 @@ import numpy as np
 from repro.errors import MPIError, SimulationError
 from repro.perf import perf_counters
 from repro.sim.effects import WaitEvent
-from repro.sim.engine import _K_CALL1, Event
+from repro.sim.engine import _K_CALL1, _K_FIRE, Event
 from repro.simmpi import collectives_detailed as detailed
 from repro.simmpi.backends import _LeafBackend, register_backend
 from repro.simmpi.p2p import RTS_BYTES
@@ -219,36 +211,39 @@ class _Driver:
         self.pend[r] = None
         self.step_i[r] += 1
         if recvT >= sendT:
-            heappush(self.core.heap, (recvT, 1, rbind, 0, r, self))
+            self.core._push(recvT, 1, rbind, 0, r, self)
         else:
-            heappush(self.core.heap, (sendT, 1, sbind, 0, r, self))
+            self.core._push(sendT, 1, sbind, 0, r, self)
 
 
 class _Walker:
-    """Shared per-world schedule walker: one heap, one sequence space.
+    """Shared per-world schedule walker mirroring the engine seq space.
 
     Work lives on a heap keyed ``(t, phase, seq)``: phase 0 entries are
     real scheduler entries (rendezvous header deliveries and data
     phases), phase 1 entries are rank resumptions whose seq is the entry
     that woke the task — the send event's fire when the send finished
     last, the delivery's when the receive did.  Sequence numbers are
-    allocated in engine push order: per eager message the send fire then
-    the delivery, per rendezvous the header delivery, the clear-to-send
-    at match time, then the data phase's sender-free and arrival fires.
-    Sharing one heap and one sequence space across every macro site in
-    the world keeps concurrent rounds in the same global order the
-    engine's own heap would impose.
+    allocated *from the engine's own counter*, in engine push order: per
+    eager message the send fire then the delivery, per rendezvous the
+    header delivery, the clear-to-send at match time, then the data
+    phase's sender-free and arrival fires.  Sharing the engine's
+    sequence space across every macro site in the world keeps concurrent
+    rounds — and unrelated per-message traffic — in the one global order
+    the engine's own heap would impose.
 
-    :meth:`pump` drains every entry due at the engine's current time
-    (deferring contested cascades to the engine ready deque — see the
-    module docstring), then advances inline as far as engine quiescence
-    allows, and schedules one engine callback at the next entry's
-    timestamp, so the walk advances in lockstep with the rest of the
-    simulation.
+    :meth:`pump` requeues every entry due at a *contested* current time
+    into the engine heap at its own ``(t, seq)`` slot (see the module
+    docstring), then advances inline as far as engine quiescence allows,
+    and schedules one engine callback at the next entry's timestamp (at
+    a seq strictly below every due entry's, so requeued entries land
+    ahead of any foreign same-instant traffic they must precede), so the
+    walk advances in lockstep with the rest of the simulation.
     """
 
     __slots__ = ("eng", "net", "eager", "cts_base", "node_of", "heap",
-                 "seqc", "initc", "wake_at", "deferred", "unfinished")
+                 "initc", "wake_at", "wake_seq", "first_seq", "parked",
+                 "unfinished")
 
     def __init__(self, world: "World"):
         self.eng = world.engine
@@ -257,39 +252,113 @@ class _Walker:
         self.cts_base = self.net.params.send_overhead
         self.node_of = self.net._node_of
         self.heap: list[tuple] = []
-        self.seqc = 0
         self.initc = 0
         self.wake_at = _INF
-        #: cascades parked on the engine ready deque
-        self.deferred = 0
+        self.wake_seq = _INF
+        #: min engine seq among heap entries per timestamp — the wake
+        #: for a timestamp must order before every entry it will requeue
+        self.first_seq: dict[float, int] = {}
+        #: entries requeued into the engine scheduler, not yet run
+        self.parked = 0
         #: fully-arrived rounds that have not completed yet
         self.unfinished = 0
 
+    def _push(self, t: float, phase: int, seq: int, code: int,
+              arg: Any, drv: _Driver) -> None:
+        """Heap push with first-seq bookkeeping (and wake demotion when
+        a new entry undercuts an already-scheduled wake's seq)."""
+        heappush(self.heap, (t, phase, seq, code, arg, drv))
+        fs = self.first_seq
+        prev = fs.get(t)
+        if prev is None or seq < prev:
+            fs[t] = seq
+            if t == self.wake_at and seq < self.wake_seq:
+                # an earlier-seq entry appeared at the wake's timestamp:
+                # add an earlier wake (the stale one fires harmlessly)
+                self.wake_seq = seq
+                self.eng._sched_at_seq(t, seq - 0.5, _K_CALL1,
+                                       self._wake, None)
+
     def _wake(self, _arg: Any = None) -> None:
         self.wake_at = _INF
+        self.wake_seq = _INF
         self.pump()
 
-    def _deferred_casc(self, arg: tuple) -> None:
-        """A cascade deferred from a contested timestamp, now running at
-        its bind position on the ready deque (sends allowed)."""
-        drv, r = arg
-        self.deferred -= 1
-        self._casc(drv, r, self.eng.now, False)
+    def _parked_heap(self, entry: tuple) -> None:
+        """A bookkeeping entry requeued to its own engine heap slot."""
+        self.parked -= 1
+        t, _phase, seq, code, arg, drv = entry
+        self._heap_entry(t, code, arg, drv)
         self.pump()
 
-    def _casc(self, drv: _Driver, r: int, cur_t: float,
-              no_sends: bool) -> None:
+    def _parked_fire(self, arg: tuple) -> None:
+        """A resumption's fire slot dispatching from the engine heap:
+        the detailed fire appends the woken task to the ready deque, so
+        the cascade takes exactly that deque position."""
+        eng = self.eng
+        eng.heap_bypasses += 1
+        eng._ready.append((_K_CALL1, self._run_casc, arg))
+
+    def _run_casc(self, arg: tuple) -> None:
+        drv, r, bind = arg
+        self.parked -= 1
+        self._casc(drv, r, self.eng.now, bind, True)
+        self.pump()
+
+    def _heap_entry(self, t: float, code: int, arg: tuple,
+                    drv: _Driver) -> None:
+        """Process a code-1/code-2 entry (heap-stage bookkeeping)."""
+        eng = self.eng
+        net = self.net
+        members = drv.members
+        node_of = self.node_of
+        if code == 1:
+            # rendezvous header delivered at the receiver
+            src, dst, dstep, nb = arg
+            pe = drv.pend[dst]
+            if pe is not None and pe[0] == dstep:
+                # receive already posted: match, clear-to-send goes
+                # back (sum the latency terms first — same float
+                # association as World._rendezvous_cts)
+                cts = t + (net.wire_latency(
+                    node_of[members[dst]],
+                    node_of[members[src]]) + self.cts_base)
+                eng._seq += 1
+                self._push(cts, 0, eng._seq, 2, arg, drv)
+            else:
+                drv.inbox[(dst, dstep)] = ("h", src, nb)
+            return
+        # code 2: rendezvous data phase — a real heap callback in
+        # the per-message schedule too
+        src, dst, dstep, nb = arg
+        free, arr = _transfer_at(net, t, members[src], members[dst], nb)
+        sa = eng._seq + 1
+        sb = sa + 1
+        eng._seq = sb
+        pe = drv.pend[src]
+        pe[1] = free
+        pe[2] = sa
+        drv._complete(src, pe)
+        pe = drv.pend[dst]
+        pe[3] = arr
+        pe[4] = sb
+        drv._complete(dst, pe)
+
+    def _casc(self, drv: _Driver, r: int, cur_t: float, bind: int,
+              deque_stage: bool = False) -> None:
         """Advance rank ``r``'s step cascade from its current position.
 
-        ``no_sends`` is set when processing a contested current-time
-        entry at heap stage: the cascade then only runs through
-        send-free work (receive consumption, parking, exit fires — the
-        detailed schedule does all of those from heap entries too) and
-        defers to the engine ready deque just before issuing a send.
+        ``bind`` is the engine seq of the entry that resumed the rank —
+        the position the detailed task's wake would have held; a rank
+        exit reached while walked ahead of the engine clock re-enters
+        the scheduler at exactly that slot.  ``deque_stage`` is set when
+        the cascade occupies a ready-deque position (a requeued
+        resumption, or an arriving rank's own continuation): an exit
+        there resumes the parked task inline, just as the detailed
+        task's continuation would have run at that position.
         """
         eng = self.eng
         net = self.net
-        heap = self.heap
         members = drv.members
         node_of = self.node_of
         pend = drv.pend
@@ -297,7 +366,6 @@ class _Walker:
         step_i = drv.step_i
         eager = self.eager
         cts_base = self.cts_base
-        seqc = self.seqc
         prog = drv.progs[r]
         nsteps = len(prog)
         while True:
@@ -308,23 +376,22 @@ class _Walker:
                     perf_counters.messages_coalesced += drv.nmsgs
                     self.unfinished -= 1
                 ev = drv.site.events[r]
+                val = drv.results[r]
                 if cur_t > eng.now:
                     # walked ahead of the engine clock: re-enter the
                     # scheduler so the rank resumes at its true exit
-                    # time
-                    ev.fire_at(cur_t, drv.results[r])
+                    # time, at the waking entry's own seq slot
+                    eng._sched_at_seq(cur_t, bind, _K_FIRE, ev, val)
+                elif deque_stage and ev._waiters:
+                    # the cascade holds the deque position the detailed
+                    # continuation would have run at: resume inline
+                    ev._value = val
+                    task = ev._waiters.pop()
+                    eng._step(task, val)
                 else:
-                    ev.fire(drv.results[r])
+                    ev.fire(val)
                 break
             dst, dstep, nb, src = prog[k]
-            if no_sends and dst >= 0:
-                # about to issue NIC traffic at heap stage: requeue at
-                # this entry's bind position on the ready deque instead
-                eng.heap_bypasses += 1
-                eng._ready.append(
-                    (_K_CALL1, self._deferred_casc, (drv, r)))
-                self.deferred += 1
-                break
             if callable(nb):
                 nb = nb()
             sendT = sbind = None
@@ -335,9 +402,9 @@ class _Walker:
                     free, arr = _transfer_at(
                         net, cur_t, members[r], members[dst], nb)
                     sendT = free
-                    sbind = seqc       # send-event fire
-                    dseq = seqc + 1    # delivery
-                    seqc += 2
+                    sbind = eng._seq + 1   # send-event fire
+                    dseq = sbind + 1       # delivery
+                    eng._seq = dseq
                     pe = pend[dst]
                     if pe is not None and pe[0] == dstep:
                         pe[3] = arr
@@ -348,16 +415,16 @@ class _Walker:
                 else:
                     _, harr = _transfer_at(
                         net, cur_t, members[r], members[dst], RTS_BYTES)
-                    heappush(heap,
-                             (harr, 0, seqc, 1, (r, dst, dstep, nb), drv))
-                    seqc += 1
+                    eng._seq += 1
+                    self._push(harr, 0, eng._seq, 1,
+                               (r, dst, dstep, nb), drv)
             if src < 0:
                 # send-only step: wait for the sender-free event
                 if sendT is None:
                     pend[r] = [k, None, None, 0.0, -1]
                     break
                 step_i[r] += 1
-                heappush(heap, (sendT, 1, sbind, 0, r, drv))
+                self._push(sendT, 1, sbind, 0, r, drv)
                 break
             ib = inbox.pop((r, k), None)
             if ib is None:
@@ -370,9 +437,8 @@ class _Walker:
                 cts = cur_t + (net.wire_latency(
                     node_of[members[r]],
                     node_of[members[ib[1]]]) + cts_base)
-                heappush(heap,
-                         (cts, 0, seqc, 2, (ib[1], r, k, ib[2]), drv))
-                seqc += 1
+                eng._seq += 1
+                self._push(cts, 0, eng._seq, 2, (ib[1], r, k, ib[2]), drv)
                 pend[r] = [k, sendT if has_send else 0.0,
                            sbind if has_send else -1, None, None]
                 break
@@ -385,7 +451,7 @@ class _Walker:
                     step_i[r] += 1
                     continue
                 step_i[r] += 1
-                heappush(heap, (arrT, 1, dseq, 0, r, drv))
+                self._push(arrT, 1, dseq, 0, r, drv)
                 break
             if sendT is None:
                 # rendezvous send still pending; receive resolved
@@ -393,43 +459,44 @@ class _Walker:
                 break
             step_i[r] += 1
             if arrT >= sendT:
-                heappush(heap, (arrT, 1, dseq, 0, r, drv))
+                self._push(arrT, 1, dseq, 0, r, drv)
             else:
-                heappush(heap, (sendT, 1, sbind, 0, r, drv))
+                self._push(sendT, 1, sbind, 0, r, drv)
             break
-        self.seqc = seqc
 
     def pump(self) -> None:
         """Drain due work, then advance inline as far as legality allows.
 
         Entries due at the engine's current time are processed in
-        ``(t, phase, seq)`` order; at contested timestamps code-0
-        cascades defer their sends to the engine ready deque (see
-        :meth:`_casc`), while rendezvous bookkeeping and data phases —
-        real heap callbacks in the per-message schedule — always run
-        inline.  After the due work, if the engine has nothing else to
-        run before our next entry (empty ready deque, no earlier engine
-        heap entry), no other traffic can touch the NICs in between —
-        so the walk keeps going inline at future timestamps instead of
-        paying one engine callback per timestamp.  Rank exits reached
-        while ahead of the engine clock are scheduled back through
-        :meth:`Event.fire_at` so they resume at their true time (and
-        whatever they then issue interleaves normally); everything
-        still pending when the advance stops gets one wake at the next
+        ``(t, phase, seq)`` order; at contested timestamps every due
+        entry is requeued into the engine heap at its own ``(t, seq)``
+        slot so it interleaves with unrelated same-instant traffic
+        exactly as the per-message schedule's entries would (initial
+        entries — seq < 0 — run in their arriving task's own
+        continuation and are never requeued).  After the due work, if
+        the engine has nothing else to run before our next entry (empty
+        ready deque, no earlier engine heap entry), no other traffic
+        can touch the NICs in between — so the walk keeps going inline
+        at future timestamps instead of paying one engine callback per
+        timestamp.  Rank exits reached while ahead of the engine clock
+        are scheduled back at their waking entry's seq slot so they
+        resume at their true time and position; everything still
+        pending when the advance stops gets one wake at the next
         entry's timestamp.
         """
         eng = self.eng
         now = eng.now
         heap = self.heap
-        net = self.net
-        node_of = self.node_of
-        cts_base = self.cts_base
         eheap = eng._heap
         eready = eng._ready
+        fs = self.first_seq
         cur = now
         while heap:
             t1 = heap[0][0]
             if t1 > cur:
+                # every entry at cur is consumed, and pushes are always
+                # strictly in the future: cur's first-seq key is dead
+                fs.pop(cur, None)
                 # nothing due now — advance inline only while the
                 # engine has nothing to run first: any ready-deque
                 # entry, or an engine heap entry at or before t1,
@@ -437,53 +504,36 @@ class _Walker:
                 if eready or (eheap and eheap[0][0] <= t1):
                     break
                 cur = t1
-            t, _phase, seq, code, arg, drv = heappop(heap)
-            if code == 0:
-                # initial entries (seq < 0) run in their arriving task's
-                # own continuation — never deferred
-                no_sends = (seq >= 0 and cur == now
-                            and (eready or (eheap and eheap[0][0] <= now)))
-                self._casc(drv, arg, t, no_sends)
-                continue
-            members = drv.members
-            if code == 1:
-                # rendezvous header delivered at the receiver
-                src, dst, dstep, nb = arg
-                pe = drv.pend[dst]
-                if pe is not None and pe[0] == dstep:
-                    # receive already posted: match, clear-to-send goes
-                    # back (sum the latency terms first — same float
-                    # association as World._rendezvous_cts)
-                    cts = t + (net.wire_latency(
-                        node_of[members[dst]],
-                        node_of[members[src]]) + cts_base)
-                    heappush(heap, (cts, 0, self.seqc, 2, arg, drv))
-                    self.seqc += 1
+            entry = heappop(heap)
+            t, _phase, seq, code, arg, drv = entry
+            if (seq >= 0 and cur == now
+                    and (eready or (eheap and eheap[0][0] <= now))):
+                # contested current instant: route the entry through
+                # the engine scheduler at its own (t, seq) slot
+                self.parked += 1
+                if code == 0:
+                    eng._sched_at_seq(t, seq, _K_CALL1, self._parked_fire,
+                                      (drv, arg, seq))
                 else:
-                    drv.inbox[(dst, dstep)] = ("h", src, nb)
+                    eng._sched_at_seq(t, seq, _K_CALL1, self._parked_heap,
+                                      entry)
                 continue
-            # code 2: rendezvous data phase — a real heap callback in
-            # the per-message schedule, so its NIC work belongs at heap
-            # stage even at contested timestamps
-            src, dst, dstep, nb = arg
-            free, arr = _transfer_at(net, t, members[src], members[dst], nb)
-            sa = self.seqc
-            sb = sa + 1
-            self.seqc = sa + 2
-            pe = drv.pend[src]
-            pe[1] = free
-            pe[2] = sa
-            drv._complete(src, pe)
-            pe = drv.pend[dst]
-            pe[3] = arr
-            pe[4] = sb
-            drv._complete(dst, pe)
+            if code == 0:
+                # initial entries (seq < 0) and uncontested resumptions
+                # run in the current continuation
+                self._casc(drv, arg, t, seq, seq < 0)
+                continue
+            self._heap_entry(t, code, arg, drv)
+        if not heap:
+            fs.clear()
         if heap:
             t0 = heap[0][0]
             if t0 < self.wake_at:
-                eng._sched(t0, _K_CALL1, self._wake, None)
+                s0 = fs.get(t0, heap[0][2])
                 self.wake_at = t0
-        elif self.unfinished and not self.deferred:
+                self.wake_seq = s0
+                eng._sched_at_seq(t0, s0 - 0.5, _K_CALL1, self._wake, None)
+        elif self.unfinished and not self.parked:
             raise SimulationError(
                 f"macro replay stalled: {self.unfinished} fully-arrived "
                 "round(s) never completed their schedule (walker bug)")

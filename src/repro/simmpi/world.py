@@ -387,7 +387,7 @@ class Communicator:
         through the same fidelity, so install overrides symmetrically
         (e.g. from a collectively-agreed hint).
         """
-        clone = Communicator(self.proc, self.desc)
+        clone = type(self)(self.proc, self.desc)
         clone._op_state = self._op_state
         clone._split_state = self._split_state
         clone._backend = resolve_backend(backend)
@@ -608,7 +608,7 @@ class Communicator:
         if self.size == 1:
             fid = "analytic"  # degenerate: immediate, no traffic either way
         else:
-            fid = self.backend.fidelity(category, nbytes)
+            fid = self.backend.fidelity(category, nbytes, comm=self)
             self._check_fidelity_symmetry(fid, category)
         if fid == "analytic":
             path = analytic_path
@@ -899,6 +899,6 @@ class Communicator:
         )
         members_world = [self.desc.members[r] for (_, r) in members_group]
         desc = self.world.derive_comm(self.desc, split_seq, color, members_world)
-        sub = Communicator(self.proc, desc)
+        sub = type(self)(self.proc, desc)
         sub._backend = self._backend  # children inherit any override
         return sub
